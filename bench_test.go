@@ -1,0 +1,261 @@
+package dualsim
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (run via the exp harness at a reduced scale so `go test
+// -bench=.` completes on a laptop), plus engine micro-benchmarks and the
+// ablation benches called out in DESIGN.md. `cmd/bench` runs the same
+// experiments at full reproduction scale and prints the paper-style tables.
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dualsim/internal/core"
+	"dualsim/internal/dataset"
+	"dualsim/internal/exp"
+	"dualsim/internal/graph"
+	"dualsim/internal/rbi"
+	"dualsim/internal/storage"
+)
+
+// benchCfg keeps experiment benchmarks laptop-fast.
+func benchCfg(b *testing.B) exp.Config {
+	b.Helper()
+	return exp.Config{
+		Scale:          0.05,
+		TempDir:        b.TempDir(),
+		Threads:        2,
+		ClusterWorkers: 4,
+		PageSize:       512,
+	}
+}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	x, err := exp.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchCfg(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := exp.NewEnv(cfg)
+		t, err := x.Run(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Fprint(io.Discard)
+		env.Close()
+	}
+}
+
+// --- one benchmark per paper table/figure -----------------------------------
+
+func BenchmarkTable3Preprocessing(b *testing.B)        { benchExperiment(b, "table3") }
+func BenchmarkTable4Intermediate(b *testing.B)         { benchExperiment(b, "table4") }
+func BenchmarkTable5Estimated(b *testing.B)            { benchExperiment(b, "table5") }
+func BenchmarkTable6Preparation(b *testing.B)          { benchExperiment(b, "table6") }
+func BenchmarkFig9BufferSize(b *testing.B)             { benchExperiment(b, "fig9") }
+func BenchmarkFig10SingleMachineDatasets(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11SingleMachineQueries(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12GraphSize(b *testing.B)             { benchExperiment(b, "fig12") }
+func BenchmarkFig13Cluster(b *testing.B)               { benchExperiment(b, "fig13") }
+func BenchmarkFig14ClusterQueries(b *testing.B)        { benchExperiment(b, "fig14") }
+func BenchmarkFig15ClusterGraphSize(b *testing.B)      { benchExperiment(b, "fig15") }
+func BenchmarkFig16Speedup(b *testing.B)               { benchExperiment(b, "fig16") }
+func BenchmarkFig17VsOPT(b *testing.B)                 { benchExperiment(b, "fig17") }
+func BenchmarkFig18ClusterQ2Q3(b *testing.B)           { benchExperiment(b, "fig18") }
+func BenchmarkEvolvingGraphDegradation(b *testing.B)   { benchExperiment(b, "evolving") }
+
+// --- engine micro-benchmarks -------------------------------------------------
+
+// benchDB builds the LJ stand-in once per benchmark.
+func benchDB(b *testing.B, scale float64) *storage.DB {
+	b.Helper()
+	spec, err := dataset.ByName("LJ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := spec.Generate(scale)
+	dir := b.TempDir()
+	path := filepath.Join(dir, "lj.db")
+	if _, err := storage.BuildFromGraph(path, g, storage.BuildOptions{PageSize: 1024, TempDir: dir}); err != nil {
+		b.Fatal(err)
+	}
+	db, err := storage.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+func benchEngineQuery(b *testing.B, q *graph.Query, opts core.Options) {
+	b.Helper()
+	db := benchDB(b, 0.1)
+	if opts.Threads == 0 {
+		opts.Threads = 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := core.NewEngine(db, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.Run(q)
+		eng.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Count == 0 && q.NumEdges() < 5 {
+			b.Fatal("suspicious zero count")
+		}
+	}
+}
+
+func BenchmarkEngineTriangle(b *testing.B) { benchEngineQuery(b, graph.Triangle(), core.Options{}) }
+func BenchmarkEngineClique4(b *testing.B)  { benchEngineQuery(b, graph.Clique4(), core.Options{}) }
+func BenchmarkEngineHouse(b *testing.B)    { benchEngineQuery(b, graph.House(), core.Options{}) }
+
+// --- ablation benches (design choices from DESIGN.md §5) ----------------------
+
+// BenchmarkAblationBufferAllocation compares the paper's buffer allocation
+// with OPT's equal split (Figure 17's explanation).
+func BenchmarkAblationBufferAllocation(b *testing.B) {
+	b.Run("paper", func(b *testing.B) {
+		benchEngineQuery(b, graph.Triangle(), core.Options{})
+	})
+	b.Run("equal", func(b *testing.B) {
+		benchEngineQuery(b, graph.Triangle(), core.Options{EqualAllocation: true})
+	})
+}
+
+// BenchmarkAblationMatchingOrder compares the Cartesian-minimizing global
+// matching order with the worst one (Figure 4(a) vs 4(b)).
+func BenchmarkAblationMatchingOrder(b *testing.B) {
+	b.Run("best", func(b *testing.B) {
+		benchEngineQuery(b, graph.House(), core.Options{})
+	})
+	b.Run("worst", func(b *testing.B) {
+		benchEngineQuery(b, graph.House(), core.Options{WorstOrder: true})
+	})
+}
+
+// BenchmarkAblationRBI compares red-vertex selection strategies on the
+// square: the paper's MCVC (3 connected red vertices), plain MVC (2
+// disconnected red vertices, forcing a Cartesian product), and no RBI at
+// all (all 4 vertices matched by traversal — a full extra level).
+func BenchmarkAblationRBI(b *testing.B) {
+	b.Run("mcvc", func(b *testing.B) {
+		benchEngineQuery(b, graph.Square(), core.Options{CoverMode: rbi.MCVC})
+	})
+	b.Run("mvc", func(b *testing.B) {
+		benchEngineQuery(b, graph.Square(), core.Options{CoverMode: rbi.MVC})
+	})
+	b.Run("allred", func(b *testing.B) {
+		benchEngineQuery(b, graph.Square(), core.Options{CoverMode: rbi.AllRed})
+	})
+}
+
+// BenchmarkAblationVGroup quantifies the v-group sequencing win: the house
+// query has 3 full-order sequences in 2 v-groups, so per-sequence matching
+// would re-traverse; the diamond (1 group) is the control.
+func BenchmarkAblationVGroup(b *testing.B) {
+	b.Run("house-2groups", func(b *testing.B) {
+		benchEngineQuery(b, graph.House(), core.Options{})
+	})
+	b.Run("diamond-1group", func(b *testing.B) {
+		benchEngineQuery(b, graph.ChordalSquare(), core.Options{})
+	})
+}
+
+// --- substrate micro-benchmarks ------------------------------------------------
+
+func BenchmarkBuildDatabase(b *testing.B) {
+	spec, err := dataset.ByName("LJ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := spec.Generate(0.1)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := filepath.Join(dir, "bench.db")
+		if _, err := storage.BuildFromGraph(path, g, storage.BuildOptions{PageSize: 1024, TempDir: dir}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBruteForceReference(b *testing.B) {
+	spec, err := dataset.ByName("LJ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := spec.Generate(0.1)
+	rg, _ := graph.ReorderByDegree(g)
+	po := graph.SymmetryBreak(graph.Triangle())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.BruteForceCount(rg, graph.Triangle(), po)
+	}
+}
+
+// BenchmarkAblationOverlap quantifies the CPU/I-O overlap: with simulated
+// device latency, four async I/O workers prefetching pages while
+// enumeration proceeds should beat a single serialized reader.
+func BenchmarkAblationOverlap(b *testing.B) {
+	lat := core.Options{PerPageLatency: 30 * time.Microsecond, SeekLatency: 150 * time.Microsecond}
+	b.Run("overlapped-4iow", func(b *testing.B) {
+		o := lat
+		o.IOWorkers = 4
+		benchEngineQuery(b, graph.Triangle(), o)
+	})
+	b.Run("serialized-1iow", func(b *testing.B) {
+		o := lat
+		o.IOWorkers = 1
+		benchEngineQuery(b, graph.Triangle(), o)
+	})
+}
+
+func BenchmarkFailureBoundary(b *testing.B) { benchExperiment(b, "failures") }
+
+// BenchmarkAblationCompression compares plain 4-byte adjacency storage with
+// delta+varint compression: fewer pages means fewer reads per query.
+func BenchmarkAblationCompression(b *testing.B) {
+	run := func(b *testing.B, compress bool) {
+		spec, err := dataset.ByName("LJ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := spec.Generate(0.1)
+		dir := b.TempDir()
+		path := filepath.Join(dir, "lj.db")
+		if _, err := storage.BuildFromGraph(path, g, storage.BuildOptions{PageSize: 1024, TempDir: dir, Compress: compress}); err != nil {
+			b.Fatal(err)
+		}
+		db, err := storage.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		b.ReportMetric(float64(db.NumPages()), "pages")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng, err := core.NewEngine(db, core.Options{Threads: 2, BufferFrames: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Run(graph.Clique4()); err != nil {
+				b.Fatal(err)
+			}
+			eng.Close()
+		}
+	}
+	b.Run("plain", func(b *testing.B) { run(b, false) })
+	b.Run("compressed", func(b *testing.B) { run(b, true) })
+}
+
+func BenchmarkCostModelValidation(b *testing.B) { benchExperiment(b, "costmodel") }

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseQueryCatalog(t *testing.T) {
+	for _, spec := range []string{"q1", "q2", "q3", "q4", "q5", "triangle", "house"} {
+		q, err := parseQuery(spec)
+		if err != nil {
+			t.Errorf("parseQuery(%q): %v", spec, err)
+			continue
+		}
+		if q.NumVertices() == 0 {
+			t.Errorf("parseQuery(%q): empty query", spec)
+		}
+	}
+}
+
+func TestParseQueryEdgeList(t *testing.T) {
+	q, err := parseQuery("0-1,1-2,0-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVertices() != 3 || q.NumEdges() != 3 {
+		t.Fatalf("custom triangle: %d vertices %d edges", q.NumVertices(), q.NumEdges())
+	}
+	// Whitespace tolerated.
+	if _, err := parseQuery("0-1, 1-2, 2-0"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, spec := range []string{"", "q9", "0-", "a-b", "0-1,5-5", "0-1 2-3"} {
+		if _, err := parseQuery(spec); err == nil {
+			t.Errorf("parseQuery(%q): expected error", spec)
+		}
+	}
+	// Disconnected custom query.
+	if _, err := parseQuery("0-1,2-3"); err == nil {
+		t.Error("disconnected query accepted")
+	}
+}

@@ -1,0 +1,369 @@
+// Package dualsim is a disk-based, single-machine parallel subgraph
+// enumeration library — a from-scratch reproduction of DUALSIM (Kim, Han,
+// Lee, Lee, Bhowmick, Ko, Jarrah: "DUALSIM: Parallel Subgraph Enumeration
+// in a Massive Graph on a Single Machine", SIGMOD 2016).
+//
+// The library enumerates every occurrence of a small query graph (triangle,
+// square, clique, ...) in a data graph stored in slotted pages on disk,
+// using the paper's dual approach: instead of fixing a query matching order
+// and chasing data vertices across random pages, it pins windows of disk
+// pages and enumerates all query sequences that can match them, keeping
+// memory bounded regardless of the number of partial matches.
+//
+// Typical use:
+//
+//	// one-time preprocessing: degree-ordering external sort + paging
+//	stats, err := dualsim.BuildFromEdgeFile("graph.db", "edges.txt", dualsim.BuildOptions{})
+//
+//	db, err := dualsim.Open("graph.db")
+//	defer db.Close()
+//	eng, err := db.NewEngine(dualsim.Options{BufferFraction: 0.15})
+//	defer eng.Close()
+//	count, err := eng.Count(dualsim.Triangle())
+package dualsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dualsim/internal/core"
+	"dualsim/internal/graph"
+	"dualsim/internal/rbi"
+	"dualsim/internal/storage"
+)
+
+// VertexID identifies a data vertex. After preprocessing, vertex IDs follow
+// the paper's degree-based total order.
+type VertexID = graph.VertexID
+
+// Query is an undirected, unlabeled, connected query graph.
+type Query = graph.Query
+
+// NewQuery builds a query graph over vertices 0..n-1 from an edge list.
+func NewQuery(name string, n int, edges [][2]int) (*Query, error) {
+	return graph.NewQuery(name, n, edges)
+}
+
+// Catalog queries (Figure 8 of the paper).
+var (
+	// Triangle returns q1.
+	Triangle = graph.Triangle
+	// Square returns q2, the 4-cycle.
+	Square = graph.Square
+	// ChordalSquare returns q3, the 4-cycle plus a chord.
+	ChordalSquare = graph.ChordalSquare
+	// Clique4 returns q4.
+	Clique4 = graph.Clique4
+	// House returns q5, the 5-vertex house.
+	House = graph.House
+	// PaperQueries returns q1..q5.
+	PaperQueries = graph.PaperQueries
+	// QueryByName resolves "q1".."q5" or long names.
+	QueryByName = graph.QueryByName
+	// Clique returns the k-clique.
+	Clique = graph.Clique
+	// Cycle returns the k-cycle.
+	Cycle = graph.Cycle
+	// Path returns the k-vertex path.
+	Path = graph.Path
+	// Star returns the k-leaf star.
+	Star = graph.Star
+)
+
+// BuildOptions configures database construction.
+type BuildOptions struct {
+	// PageSize is the slotted page size in bytes (default 4096).
+	PageSize int
+	// TempDir holds external-sort run files (default: system temp).
+	TempDir string
+	// RunSize is the number of edge records per in-memory sort run.
+	RunSize int
+	// SkipReorder keeps original vertex IDs instead of degree ordering.
+	SkipReorder bool
+	// AppendFraction leaves the top fraction of vertices unsorted,
+	// simulating an evolving graph (Section 6.2.1).
+	AppendFraction float64
+	// Compress stores adjacency lists delta+varint encoded, shrinking the
+	// database and the number of reads.
+	Compress bool
+}
+
+// BuildStats reports preprocessing work (the paper's Table 3 metric).
+type BuildStats struct {
+	NumVertices int
+	NumEdges    uint64
+	NumPages    int
+	MaxDegree   int
+	SortRuns    int
+	Elapsed     time.Duration
+}
+
+func (o BuildOptions) internal() storage.BuildOptions {
+	return storage.BuildOptions{
+		PageSize:       o.PageSize,
+		TempDir:        o.TempDir,
+		RunSize:        o.RunSize,
+		SkipReorder:    o.SkipReorder,
+		AppendFraction: o.AppendFraction,
+		Compress:       o.Compress,
+	}
+}
+
+func buildStats(s *storage.BuildStats) *BuildStats {
+	return &BuildStats{
+		NumVertices: s.NumVertices,
+		NumEdges:    s.NumEdges,
+		NumPages:    s.NumPages,
+		MaxDegree:   s.MaxDegree,
+		SortRuns:    s.SortRuns,
+		Elapsed:     s.Elapsed,
+	}
+}
+
+// BuildFromEdges preprocesses an in-memory edge list over n vertices into a
+// database file at path.
+func BuildFromEdges(path string, n int, edges [][2]VertexID, opt BuildOptions) (*BuildStats, error) {
+	s, err := storage.Build(path, storage.NewSliceSource(n, edges), opt.internal())
+	if err != nil {
+		return nil, err
+	}
+	return buildStats(s), nil
+}
+
+// BuildFromEdgeFile preprocesses a whitespace-separated edge-list text file
+// ("u v" per line, '#' comments) into a database file at path.
+func BuildFromEdgeFile(path, edgeFile string, opt BuildOptions) (*BuildStats, error) {
+	n, _, err := storage.ScanEdgeFile(edgeFile)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("dualsim: %s contains no edges", edgeFile)
+	}
+	src := storage.NewFileSource(edgeFile, n)
+	defer src.Close()
+	s, err := storage.Build(path, src, opt.internal())
+	if err != nil {
+		return nil, err
+	}
+	return buildStats(s), nil
+}
+
+// DB is a read-only handle to a built database.
+type DB struct {
+	db *storage.DB
+}
+
+// Open opens a database built with BuildFromEdges or BuildFromEdgeFile.
+func Open(path string) (*DB, error) {
+	db, err := storage.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{db: db}, nil
+}
+
+// Close releases the database file.
+func (d *DB) Close() error { return d.db.Close() }
+
+// NumVertices returns the vertex count.
+func (d *DB) NumVertices() int { return d.db.NumVertices() }
+
+// NumEdges returns the undirected edge count.
+func (d *DB) NumEdges() uint64 { return d.db.NumEdges() }
+
+// NumPages returns the data page count.
+func (d *DB) NumPages() int { return d.db.NumPages() }
+
+// PageSize returns the page size in bytes.
+func (d *DB) PageSize() int { return d.db.PageSize() }
+
+// Degree returns d(v).
+func (d *DB) Degree(v VertexID) int { return d.db.Degree(v) }
+
+// Verify re-reads the whole database and checks structural invariants.
+func (d *DB) Verify() error { return d.db.VerifyIntegrity() }
+
+// FileStats summarizes the database's physical layout.
+type FileStats struct {
+	Pages         int
+	PageSize      int
+	FillFactor    float64
+	Records       int
+	SplitVertices int
+}
+
+// Stats scans every page and reports layout statistics.
+func (d *DB) Stats() (*FileStats, error) {
+	st, err := d.db.Stats()
+	if err != nil {
+		return nil, err
+	}
+	return &FileStats{
+		Pages:         st.Pages,
+		PageSize:      st.PageSize,
+		FillFactor:    st.FillFactor,
+		Records:       st.Records,
+		SplitVertices: st.SplitVertices,
+	}, nil
+}
+
+// Options configures an enumeration engine.
+type Options struct {
+	// Threads is the number of enumeration workers (default GOMAXPROCS).
+	Threads int
+	// BufferFrames fixes the buffer capacity in pages; when zero,
+	// BufferFraction applies.
+	BufferFrames int
+	// BufferFraction sizes the buffer as a fraction of the database's
+	// pages (default 0.15, the paper's default).
+	BufferFraction float64
+	// UseMVC selects minimum vertex covers instead of minimum connected
+	// vertex covers for the red query graph.
+	UseMVC bool
+	// EqualAllocation divides the buffer equally among levels (OPT's
+	// strategy; the paper's allocation is the default).
+	EqualAllocation bool
+	// WorstOrder picks the Cartesian-maximizing global matching order
+	// (ablation).
+	WorstOrder bool
+	// PerPageLatency and SeekLatency simulate device characteristics for
+	// experiments.
+	PerPageLatency time.Duration
+	SeekLatency    time.Duration
+}
+
+// Result reports one enumeration run.
+type Result struct {
+	// Count is the number of occurrences (each counted exactly once).
+	Count uint64
+	// Internal and External split Count by where the red match resided.
+	Internal, External uint64
+	// PrepTime is the preparation step (Table 6); ExecTime the execution.
+	PrepTime, ExecTime time.Duration
+	// PhysicalReads and LogicalReads count page I/O.
+	PhysicalReads, LogicalReads uint64
+	// BufferFrames is the pool capacity used.
+	BufferFrames int
+	// Level1Windows counts internal-area window iterations.
+	Level1Windows int
+	// RedVertices is |V_R| (the traversal levels); VGroups the number of
+	// v-group sequences.
+	RedVertices, VGroups int
+}
+
+// Engine enumerates subgraphs of one database.
+type Engine struct {
+	eng *core.Engine
+}
+
+// NewEngine creates an engine over the database.
+func (d *DB) NewEngine(opt Options) (*Engine, error) {
+	mode := rbi.MCVC
+	if opt.UseMVC {
+		mode = rbi.MVC
+	}
+	eng, err := core.NewEngine(d.db, core.Options{
+		Threads:         opt.Threads,
+		BufferFrames:    opt.BufferFrames,
+		BufferFraction:  opt.BufferFraction,
+		CoverMode:       mode,
+		EqualAllocation: opt.EqualAllocation,
+		WorstOrder:      opt.WorstOrder,
+		PerPageLatency:  opt.PerPageLatency,
+		SeekLatency:     opt.SeekLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng}, nil
+}
+
+// Close releases the engine's buffer pool.
+func (e *Engine) Close() { e.eng.Close() }
+
+// Run enumerates q and returns statistics.
+func (e *Engine) Run(q *Query) (*Result, error) {
+	res, err := e.eng.Run(q)
+	if err != nil {
+		return nil, err
+	}
+	return publicResult(res), nil
+}
+
+// Count returns the number of occurrences of q.
+func (e *Engine) Count(q *Query) (uint64, error) {
+	res, err := e.Run(q)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+func publicResult(res *core.Result) *Result {
+	return &Result{
+		Count:         res.Count,
+		Internal:      res.Internal,
+		External:      res.External,
+		PrepTime:      res.PrepTime,
+		ExecTime:      res.ExecTime,
+		PhysicalReads: res.IO.PhysicalReads,
+		LogicalReads:  res.IO.LogicalReads,
+		BufferFrames:  res.BufferFrames,
+		Level1Windows: res.Level1Windows,
+		RedVertices:   res.Plan.K,
+		VGroups:       len(res.Plan.Groups),
+	}
+}
+
+// Embedding maps query vertex i to Embedding[i].
+type Embedding []VertexID
+
+// Enumerate calls fn once for every occurrence of q in the database. fn
+// receives its own copy of the embedding and is invoked from a single
+// goroutine at a time.
+func (d *DB) Enumerate(q *Query, opt Options, fn func(Embedding)) (*Result, error) {
+	mode := rbi.MCVC
+	if opt.UseMVC {
+		mode = rbi.MVC
+	}
+	var mu sync.Mutex
+	eng, err := core.NewEngine(d.db, core.Options{
+		Threads:         opt.Threads,
+		BufferFrames:    opt.BufferFrames,
+		BufferFraction:  opt.BufferFraction,
+		CoverMode:       mode,
+		EqualAllocation: opt.EqualAllocation,
+		WorstOrder:      opt.WorstOrder,
+		PerPageLatency:  opt.PerPageLatency,
+		SeekLatency:     opt.SeekLatency,
+		OnMatch: func(m []graph.VertexID) {
+			cp := make(Embedding, len(m))
+			copy(cp, m)
+			mu.Lock()
+			fn(cp)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	res, err := eng.Run(q)
+	if err != nil {
+		return nil, err
+	}
+	return publicResult(res), nil
+}
+
+// CountInMemory counts occurrences of q in an in-memory edge list with the
+// reference brute-force enumerator — handy for validating small graphs
+// without building a database.
+func CountInMemory(n int, edges [][2]VertexID, q *Query) (uint64, error) {
+	g, err := graph.NewGraph(n, edges)
+	if err != nil {
+		return 0, err
+	}
+	return graph.CountOccurrences(g, q), nil
+}

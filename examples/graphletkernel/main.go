@@ -1,0 +1,106 @@
+// Graphlet kernel: compare graphs by their graphlet frequency vectors —
+// the "graphlet kernel computation" application from the paper's
+// introduction [25]. Each graph's normalized counts of small connected
+// subgraphs form a feature vector; the cosine of two vectors measures
+// structural similarity, which distinguishes network families even when
+// sizes differ.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"dualsim"
+	"dualsim/internal/gen"
+	"dualsim/internal/graph"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "dualsim-graphlet-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Three networks from two families: two preferential-attachment graphs
+	// (same generative process, different sizes) and one Erdős–Rényi graph
+	// with a similar edge budget.
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"social-A (BA)", gen.BarabasiAlbert(1200, 6, 1)},
+		{"social-B (BA)", gen.BarabasiAlbert(2000, 6, 2)},
+		{"random (ER)", gen.ErdosRenyi(1500, 9000, 3)},
+	}
+
+	// Graphlets: the five paper queries plus the 3-path.
+	glets := append([]*dualsim.Query{dualsim.Path("path3", 3)}, dualsim.PaperQueries()...)
+
+	vectors := make([][]float64, len(graphs))
+	for i, spec := range graphs {
+		dbPath := filepath.Join(dir, fmt.Sprintf("g%d.db", i))
+		if _, err := dualsim.BuildFromEdges(dbPath, spec.g.NumVertices(), spec.g.EdgeList(), dualsim.BuildOptions{TempDir: dir}); err != nil {
+			log.Fatal(err)
+		}
+		db, err := dualsim.Open(dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := db.NewEngine(dualsim.Options{BufferFraction: 0.2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		vec := make([]float64, len(glets))
+		for j, q := range glets {
+			c, err := eng.Count(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			vec[j] = float64(c)
+		}
+		eng.Close()
+		db.Close()
+		vectors[i] = normalize(vec)
+		fmt.Printf("%-14s %d vertices %6d edges  graphlets:", spec.name, spec.g.NumVertices(), spec.g.NumEdges())
+		for j := range glets {
+			fmt.Printf(" %.3f", vectors[i][j])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ngraphlet-kernel similarity (cosine):")
+	for i := range graphs {
+		for j := i + 1; j < len(graphs); j++ {
+			fmt.Printf("  %-14s vs %-14s %.4f\n", graphs[i].name, graphs[j].name, dot(vectors[i], vectors[j]))
+		}
+	}
+	fmt.Println("\nthe two BA graphs should be far more similar to each other than to the ER graph")
+}
+
+func normalize(v []float64) []float64 {
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		return v
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x / norm
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

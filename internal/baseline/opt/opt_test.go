@@ -1,0 +1,87 @@
+package opt
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"dualsim/internal/core"
+	"dualsim/internal/graph"
+	"dualsim/internal/storage"
+)
+
+func buildDB(t *testing.T, g *graph.Graph) *storage.DB {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.db")
+	if _, err := storage.BuildFromGraph(path, g, storage.BuildOptions{PageSize: 256, TempDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestOPTCountsTriangles(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	edges := make([][2]graph.VertexID, 0, 900)
+	for i := 0; i < 900; i++ {
+		edges = append(edges, [2]graph.VertexID{
+			graph.VertexID(rng.Intn(150)), graph.VertexID(rng.Intn(150)),
+		})
+	}
+	g := graph.MustNewGraph(150, edges)
+	db := buildDB(t, g)
+	res, err := Triangulate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, _ := graph.ReorderByDegree(g)
+	want := graph.CountOccurrences(rg, graph.Triangle())
+	if res.Count != want {
+		t.Fatalf("OPT triangles = %d, want %d", res.Count, want)
+	}
+}
+
+func TestOPTUsesEqualAllocation(t *testing.T) {
+	// With a tight buffer, OPT's equal split yields more level-1 window
+	// iterations than DUALSIM's internal-area-heavy allocation — the
+	// Figure 17 mechanism.
+	rng := rand.New(rand.NewSource(6))
+	edges := make([][2]graph.VertexID, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		edges = append(edges, [2]graph.VertexID{
+			graph.VertexID(rng.Intn(500)), graph.VertexID(rng.Intn(500)),
+		})
+	}
+	g := graph.MustNewGraph(500, edges)
+	db := buildDB(t, g)
+	optRes, err := TriangulateOpts(db, Options{Threads: 2, BufferFrames: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DUALSIM allocation on the same budget for comparison.
+	dsRes, err := dualsimTriangulate(db, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optRes.Count != dsRes.Count {
+		t.Fatalf("counts differ: OPT %d vs DUALSIM %d", optRes.Count, dsRes.Count)
+	}
+	if optRes.Level1Windows < dsRes.Level1Windows {
+		t.Errorf("OPT level-1 windows (%d) should be >= DUALSIM's (%d)",
+			optRes.Level1Windows, dsRes.Level1Windows)
+	}
+}
+
+func dualsimTriangulate(db *storage.DB, frames int) (*core.Result, error) {
+	eng, err := core.NewEngine(db, core.Options{Threads: 2, BufferFrames: frames})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	return eng.Run(graph.Triangle())
+}

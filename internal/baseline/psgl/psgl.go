@@ -1,0 +1,204 @@
+// Package psgl reimplements PSgL (Shao, Cui, Chen, Ma, Yao, Xu; SIGMOD
+// 2014), the Pregel-based parallel subgraph listing baseline: partial
+// subgraph instances are expanded one query vertex per superstep in a
+// breadth-first fashion and held in worker memory between supersteps. Their
+// count grows exponentially with the query size — the behavior Table 4 of
+// the DUALSIM paper documents and DUALSIM avoids.
+package psgl
+
+import (
+	"fmt"
+	"time"
+
+	"dualsim/internal/graph"
+	"dualsim/internal/pregel"
+)
+
+// Options configures a PSgL execution.
+type Options struct {
+	// Workers simulates the cluster size (1 = single machine).
+	Workers int
+	// MemoryPerWorker caps each worker's buffered partial instances in
+	// bytes; overruns fail the job like the real system.
+	MemoryPerWorker int64
+}
+
+// Stats reports one execution.
+type Stats struct {
+	// Order is the BFS matching order over query vertices.
+	Order []int
+	// PartialInstances counts all partial (non-final) embeddings created.
+	PartialInstances uint64
+	// PerSuperstep holds partial instances created per expansion step.
+	PerSuperstep []uint64
+	// MaxWorkerBytes is the peak per-worker buffered bytes.
+	MaxWorkerBytes int64
+	Supersteps     int
+	Elapsed        time.Duration
+}
+
+// Run enumerates q in g (degree-ordered) and returns the count under
+// symmetry breaking.
+func Run(g *graph.Graph, q *graph.Query, opt Options) (uint64, *Stats, error) {
+	start := time.Now()
+	po := graph.SymmetryBreak(q)
+	order := bfsOrder(q)
+	pivots := choosePivots(q, order)
+	n := q.NumVertices()
+
+	// perStep[i] counts partials of length i+1 created (atomic not needed:
+	// engine aggregates counts; track via message count per superstep using
+	// stats from the engine instead).
+	compute := func(ctx *pregel.Context, v graph.VertexID, msgs [][]uint32) error {
+		dg := ctx.Graph()
+		if ctx.Superstep() == 0 {
+			// Match order[0] to v.
+			if dg.Degree(v) < q.Degree(order[0]) {
+				return nil
+			}
+			partial := []uint32{uint32(v)}
+			return route(ctx, q, po, dg, order, pivots, partial)
+		}
+		// v is the anchor for expanding order[len(partial)].
+		for _, partial := range msgs {
+			step := len(partial)
+			u := order[step]
+			for _, w := range dg.Adj(v) {
+				if dg.Degree(w) < q.Degree(u) {
+					continue
+				}
+				if !validExtension(q, po, dg, order, partial, u, w) {
+					continue
+				}
+				ext := make([]uint32, step+1)
+				copy(ext, partial)
+				ext[step] = uint32(w)
+				if step+1 == n {
+					ctx.AddCount(1)
+					continue
+				}
+				if err := route(ctx, q, po, dg, order, pivots, ext); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	eng := pregel.NewEngine(g, compute, pregel.Config{
+		Workers:         opt.Workers,
+		MemoryPerWorker: opt.MemoryPerWorker,
+		MaxSupersteps:   n + 2,
+	})
+	pstats, err := eng.Run()
+	stats := &Stats{
+		Order:          order,
+		MaxWorkerBytes: pstats.MaxWorkerBytes,
+		Supersteps:     pstats.Supersteps,
+		// Every message is a live partial instance buffered in memory.
+		PartialInstances: pstats.TotalMessages,
+		PerSuperstep:     pstats.MessagesPerStep,
+		Elapsed:          time.Since(start),
+	}
+	if err != nil {
+		return 0, stats, fmt.Errorf("psgl: %w", err)
+	}
+	return pstats.Count, stats, nil
+}
+
+// route forwards a partial instance to the anchor vertex that expands the
+// next query vertex: the data vertex matched to the next vertex's pivot.
+func route(ctx *pregel.Context, q *graph.Query, po []graph.PartialOrder, dg *graph.Graph, order, pivots []int, partial []uint32) error {
+	next := len(partial)
+	if next >= q.NumVertices() {
+		return nil
+	}
+	anchor := graph.VertexID(partial[pivots[next]])
+	ctx.Send(anchor, partial)
+	return nil
+}
+
+// validExtension checks injectivity, adjacency to every matched neighbor,
+// and partial orders for assigning data vertex w to query vertex u.
+func validExtension(q *graph.Query, po []graph.PartialOrder, dg *graph.Graph, order []int, partial []uint32, u int, w graph.VertexID) bool {
+	pos := make(map[int]int, len(partial))
+	for i := 0; i < len(partial); i++ {
+		pos[order[i]] = i
+	}
+	for _, dv := range partial {
+		if graph.VertexID(dv) == w {
+			return false
+		}
+	}
+	for _, nb := range q.Neighbors(u) {
+		i, ok := pos[nb]
+		if !ok {
+			continue
+		}
+		if !dg.HasEdge(w, graph.VertexID(partial[i])) {
+			return false
+		}
+	}
+	for _, c := range po {
+		if c.Lo == u {
+			if i, ok := pos[c.Hi]; ok && !(w < graph.VertexID(partial[i])) {
+				return false
+			}
+		}
+		if c.Hi == u {
+			if i, ok := pos[c.Lo]; ok && !(graph.VertexID(partial[i]) < w) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bfsOrder returns a matching order where every vertex after the first is
+// adjacent to an earlier one, starting from the max-degree vertex.
+func bfsOrder(q *graph.Query) []int {
+	n := q.NumVertices()
+	start := 0
+	for i := 1; i < n; i++ {
+		if q.Degree(i) > q.Degree(start) {
+			start = i
+		}
+	}
+	order := []int{start}
+	placed := uint32(1) << uint(start)
+	for len(order) < n {
+		best, bestDeg := -1, -1
+		for i := 0; i < n; i++ {
+			if placed&(1<<uint(i)) != 0 || q.AdjMask(i)&placed == 0 {
+				continue
+			}
+			if d := q.Degree(i); d > bestDeg {
+				best, bestDeg = i, d
+			}
+		}
+		order = append(order, best)
+		placed |= 1 << uint(best)
+	}
+	return order
+}
+
+// choosePivots maps each order index i > 0 to the position (in the partial)
+// of an earlier neighbor of order[i] — the vertex the partial is routed to
+// for the expansion.
+func choosePivots(q *graph.Query, order []int) []int {
+	n := len(order)
+	pivots := make([]int, n)
+	for i := 1; i < n; i++ {
+		pivots[i] = -1
+		for j := 0; j < i; j++ {
+			if q.HasEdge(order[i], order[j]) {
+				pivots[i] = j
+				break
+			}
+		}
+		if pivots[i] < 0 {
+			pivots[i] = 0 // connected queries always have one; defensive
+		}
+	}
+	return pivots
+}

@@ -1,0 +1,114 @@
+package psgl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dualsim/internal/graph"
+	"dualsim/internal/pregel"
+)
+
+func randomOrderedGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	edges := make([][2]graph.VertexID, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, [2]graph.VertexID{
+			graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)),
+		})
+	}
+	g := graph.MustNewGraph(n, edges)
+	rg, _ := graph.ReorderByDegree(g)
+	return rg
+}
+
+func TestPSgLMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		g := randomOrderedGraph(rng, 60+rng.Intn(60), 300+rng.Intn(300))
+		for _, q := range graph.PaperQueries() {
+			for _, workers := range []int{1, 4} {
+				got, stats, err := Run(g, q, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", q.Name(), workers, err)
+				}
+				want := graph.CountOccurrences(g, q)
+				if got != want {
+					t.Fatalf("%s workers=%d: count %d, want %d", q.Name(), workers, got, want)
+				}
+				if want > 0 && stats.PartialInstances == 0 {
+					t.Errorf("%s: no partial instances recorded", q.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestPSgLMemoryOverrunFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g := randomOrderedGraph(rng, 150, 1500)
+	_, _, err := Run(g, graph.Clique4(), Options{Workers: 2, MemoryPerWorker: 512})
+	if !errors.Is(err, pregel.ErrMemoryOverrun) {
+		t.Fatalf("want memory overrun, got %v", err)
+	}
+}
+
+func TestPSgLPartialGrowthWithQueryComplexity(t *testing.T) {
+	// Partial instance counts should grow from q1 to q5 on a dense-ish
+	// graph — the paper's Table 4 phenomenon.
+	rng := rand.New(rand.NewSource(33))
+	g := randomOrderedGraph(rng, 100, 1200)
+	q1, _, err := Run(g, graph.Triangle(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s1, err := Run(g, graph.Triangle(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s5, err := Run(g, graph.House(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = q1
+	if s5.PartialInstances <= s1.PartialInstances {
+		t.Errorf("house partials (%d) should exceed triangle partials (%d)",
+			s5.PartialInstances, s1.PartialInstances)
+	}
+}
+
+func TestBFSOrderConnected(t *testing.T) {
+	for _, q := range graph.PaperQueries() {
+		order := bfsOrder(q)
+		placed := uint32(1) << uint(order[0])
+		for _, u := range order[1:] {
+			if q.AdjMask(u)&placed == 0 {
+				t.Errorf("%s: order %v not connected at %d", q.Name(), order, u)
+			}
+			placed |= 1 << uint(u)
+		}
+		pivots := choosePivots(q, order)
+		for i := 1; i < len(order); i++ {
+			if pivots[i] < 0 || pivots[i] >= i {
+				t.Errorf("%s: pivot %d out of range", q.Name(), pivots[i])
+			}
+			if !q.HasEdge(order[i], order[pivots[i]]) {
+				t.Errorf("%s: pivot %d not adjacent to %d", q.Name(), order[pivots[i]], order[i])
+			}
+		}
+	}
+}
+
+func TestPSgLSuperstepsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	g := randomOrderedGraph(rng, 50, 200)
+	_, stats, err := Run(g, graph.House(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Supersteps > graph.House().NumVertices()+1 {
+		t.Errorf("supersteps = %d", stats.Supersteps)
+	}
+	if len(stats.PerSuperstep) == 0 {
+		t.Errorf("per-superstep stats missing")
+	}
+}

@@ -1,0 +1,198 @@
+package ttj
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dualsim/internal/graph"
+	"dualsim/internal/mr"
+)
+
+func randomOrderedGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	edges := make([][2]graph.VertexID, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, [2]graph.VertexID{
+			graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)),
+		})
+	}
+	g := graph.MustNewGraph(n, edges)
+	rg, _ := graph.ReorderByDegree(g)
+	return rg
+}
+
+func TestDecomposeCoversAllEdges(t *testing.T) {
+	queries := append(graph.PaperQueries(),
+		graph.Path("p5", 5), graph.Star("s4", 4), graph.Cycle("c6", 6), graph.Clique("k5", 5))
+	for _, q := range queries {
+		twigs, err := Decompose(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name(), err)
+		}
+		covered := map[[2]int]bool{}
+		matched := map[int]bool{}
+		for i, tw := range twigs {
+			if len(tw.Leaves) < 1 || len(tw.Leaves) > 2 {
+				t.Fatalf("%s: twig %v has %d leaves", q.Name(), tw, len(tw.Leaves))
+			}
+			if i > 0 {
+				touches := matched[tw.Center]
+				for _, l := range tw.Leaves {
+					if matched[l] {
+						touches = true
+					}
+				}
+				if !touches {
+					t.Fatalf("%s: twig %d (%v) disconnected from prefix", q.Name(), i, tw)
+				}
+			}
+			for _, l := range tw.Leaves {
+				if !q.HasEdge(tw.Center, l) {
+					t.Fatalf("%s: twig edge (%d,%d) not a query edge", q.Name(), tw.Center, l)
+				}
+				a, b := tw.Center, l
+				if a > b {
+					a, b = b, a
+				}
+				if covered[[2]int{a, b}] {
+					t.Fatalf("%s: edge (%d,%d) covered twice", q.Name(), a, b)
+				}
+				covered[[2]int{a, b}] = true
+				matched[l] = true
+			}
+			matched[tw.Center] = true
+		}
+		if len(covered) != q.NumEdges() {
+			t.Fatalf("%s: %d edges covered, want %d", q.Name(), len(covered), q.NumEdges())
+		}
+	}
+}
+
+func TestCliqueDecompositionMatchesPaper(t *testing.T) {
+	// "TwinTwigJoin requires two join operations for a clique query":
+	// 3 twigs = 2 joins for K4.
+	twigs, err := Decompose(graph.Clique4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(twigs) != 3 {
+		t.Errorf("K4 twigs = %d, want 3 (two joins)", len(twigs))
+	}
+	// Triangle: 2 twigs = 1 join.
+	twigs, err = Decompose(graph.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(twigs) != 2 {
+		t.Errorf("triangle twigs = %d, want 2", len(twigs))
+	}
+}
+
+func TestTTJMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 3; trial++ {
+		g := randomOrderedGraph(rng, 50+rng.Intn(50), 200+rng.Intn(200))
+		for _, q := range graph.PaperQueries() {
+			for _, workers := range []int{1, 3} {
+				got, stats, err := Run(g, q, Options{Workers: workers, TempDir: t.TempDir()})
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", q.Name(), workers, err)
+				}
+				want := graph.CountOccurrences(g, q)
+				if got != want {
+					t.Fatalf("%s workers=%d: count %d, want %d (twigs %v, rounds %v)",
+						q.Name(), workers, got, want, stats.Twigs, stats.PerRound)
+				}
+			}
+		}
+	}
+}
+
+func TestTTJIntermediateCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomOrderedGraph(rng, 80, 800)
+	_, s1, err := Run(g, graph.Triangle(), Options{Workers: 2, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Rounds != 2 || len(s1.PerRound) != 2 {
+		t.Fatalf("triangle stats: %+v", s1)
+	}
+	if s1.TotalIntermediate != s1.PerRound[0] {
+		t.Errorf("intermediate = %d, want %d", s1.TotalIntermediate, s1.PerRound[0])
+	}
+	// K4 intermediate grows beyond the triangle's.
+	_, s4, err := Run(g, graph.Clique4(), Options{Workers: 2, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.TotalIntermediate <= s1.TotalIntermediate {
+		t.Errorf("K4 intermediate (%d) should exceed triangle's (%d)",
+			s4.TotalIntermediate, s1.TotalIntermediate)
+	}
+}
+
+func TestTTJSparkStyleFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := randomOrderedGraph(rng, 120, 1400)
+	_, _, err := Run(g, graph.Clique4(), Options{
+		Workers: 2, TempDir: t.TempDir(),
+		MemoryPerWorker: 1024, FailOnOverflow: true,
+	})
+	if !errors.Is(err, mr.ErrPartitionTooLarge) {
+		t.Fatalf("want ErrPartitionTooLarge, got %v", err)
+	}
+}
+
+func TestTTJHadoopSpillFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	g := randomOrderedGraph(rng, 120, 1400)
+	_, _, err := Run(g, graph.Clique4(), Options{
+		Workers: 2, TempDir: t.TempDir(),
+		MemoryPerWorker: 1024, MaxSpillBytes: 4096,
+	})
+	if !errors.Is(err, mr.ErrSpillExhausted) {
+		t.Fatalf("want ErrSpillExhausted, got %v", err)
+	}
+}
+
+func TestTTJSpillsButCompletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	g := randomOrderedGraph(rng, 70, 500)
+	got, stats, err := Run(g, graph.Triangle(), Options{
+		Workers: 2, TempDir: t.TempDir(), MemoryPerWorker: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.CountOccurrences(g, graph.Triangle())
+	if got != want {
+		t.Fatalf("count %d, want %d", got, want)
+	}
+	if stats.MR.SpilledBytes == 0 {
+		t.Errorf("expected spills with a 2KB budget")
+	}
+}
+
+func TestTTJRequiresTempDir(t *testing.T) {
+	g := graph.MustNewGraph(3, [][2]graph.VertexID{{0, 1}, {1, 2}, {0, 2}})
+	if _, _, err := Run(g, graph.Triangle(), Options{}); err == nil {
+		t.Fatal("missing TempDir accepted")
+	}
+}
+
+func TestTTJSingleEdgeQuery(t *testing.T) {
+	g := randomOrderedGraph(rand.New(rand.NewSource(46)), 30, 100)
+	q := graph.MustNewQuery("edge", 2, [][2]int{{0, 1}})
+	got, stats, err := Run(g, q, Options{Workers: 1, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.CountOccurrences(g, q)
+	if got != want {
+		t.Fatalf("count %d, want %d", got, want)
+	}
+	if stats.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", stats.Rounds)
+	}
+}

@@ -1,0 +1,325 @@
+// Package buffer implements the memory buffer manager used by the DUALSIM
+// engine: a fixed pool of page frames with pin/unpin semantics, an
+// asynchronous read scheduler with completion callbacks (the paper's
+// AsyncRead), I/O statistics, and the buffer allocation strategies from
+// Section 5 (paper strategy and the equal split used by OPT).
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dualsim/internal/storage"
+)
+
+// PageReader supplies raw page images; *storage.DB implements it.
+type PageReader interface {
+	ReadPageInto(pid storage.PageID, buf []byte) error
+	PageSize() int
+	NumPages() int
+}
+
+// ErrNoFreeFrame is returned when every frame is pinned and a new page is
+// requested. The engine sizes its windows to the pool, so seeing this error
+// indicates a planning bug or a too-small buffer.
+var ErrNoFreeFrame = errors.New("buffer: all frames pinned")
+
+// Options configures a Pool.
+type Options struct {
+	// Frames is the pool capacity in pages (required, >= 1).
+	Frames int
+	// IOWorkers is the number of asynchronous read goroutines (default 4).
+	IOWorkers int
+	// PerPageLatency simulates device transfer time per physical page read.
+	PerPageLatency time.Duration
+	// SeekLatency is added when a physical read is not sequential with the
+	// pool's previous physical read (an HDD-style seek penalty).
+	SeekLatency time.Duration
+}
+
+// Stats counts buffer activity. Retrieved with Pool.Stats.
+type Stats struct {
+	LogicalReads  uint64 // Pin calls satisfied (hit or miss)
+	PhysicalReads uint64 // pages actually read from the reader
+	Hits          uint64 // Pin calls satisfied without I/O
+	Evictions     uint64 // frames recycled
+}
+
+type frame struct {
+	pid   storage.PageID
+	pins  int
+	page  *storage.Page
+	err   error
+	ready chan struct{}
+	buf   []byte
+}
+
+type ioRequest struct {
+	pid storage.PageID
+	cb  func(*storage.Page, error)
+	wg  *sync.WaitGroup
+}
+
+// Pool is a fixed-capacity page buffer. All methods are safe for concurrent
+// use.
+type Pool struct {
+	reader PageReader
+	opts   Options
+
+	mu        sync.Mutex
+	frames    []frame
+	table     map[storage.PageID]int
+	free      []int
+	evictable []int // candidate frame indexes with pins == 0 (lazily validated)
+
+	logical   atomic.Uint64
+	physical  atomic.Uint64
+	hits      atomic.Uint64
+	evictions atomic.Uint64
+	lastRead  atomic.Int64 // previous physical pid, for seek simulation
+
+	ioq    chan ioRequest
+	ioWG   sync.WaitGroup
+	closed atomic.Bool
+}
+
+// NewPool creates a pool over reader with opts.Frames frames.
+func NewPool(reader PageReader, opts Options) (*Pool, error) {
+	if opts.Frames < 1 {
+		return nil, fmt.Errorf("buffer: need at least 1 frame, got %d", opts.Frames)
+	}
+	if opts.IOWorkers <= 0 {
+		opts.IOWorkers = 4
+	}
+	p := &Pool{
+		reader: reader,
+		opts:   opts,
+		frames: make([]frame, opts.Frames),
+		table:  make(map[storage.PageID]int, opts.Frames),
+		free:   make([]int, 0, opts.Frames),
+		ioq:    make(chan ioRequest, 4*opts.IOWorkers),
+	}
+	p.lastRead.Store(-2)
+	for i := opts.Frames - 1; i >= 0; i-- {
+		p.free = append(p.free, i)
+	}
+	for i := 0; i < opts.IOWorkers; i++ {
+		p.ioWG.Add(1)
+		go p.ioWorker()
+	}
+	return p, nil
+}
+
+// Close stops the I/O workers. Pending async requests complete first.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.ioq)
+		p.ioWG.Wait()
+	}
+}
+
+// Capacity returns the frame count.
+func (p *Pool) Capacity() int { return p.opts.Frames }
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		LogicalReads:  p.logical.Load(),
+		PhysicalReads: p.physical.Load(),
+		Hits:          p.hits.Load(),
+		Evictions:     p.evictions.Load(),
+	}
+}
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() {
+	p.logical.Store(0)
+	p.physical.Store(0)
+	p.hits.Store(0)
+	p.evictions.Store(0)
+}
+
+// Resident reports whether pid is currently buffered (loaded or loading).
+func (p *Pool) Resident(pid storage.PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.table[pid]
+	return ok
+}
+
+// PinnedCount returns the number of frames with at least one pin. For tests.
+func (p *Pool) PinnedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for i := range p.frames {
+		if p.frames[i].pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Pin fetches page pid, reading it if absent, and holds it in memory until
+// a matching Unpin. The returned page is shared and must not be modified.
+func (p *Pool) Pin(pid storage.PageID) (*storage.Page, error) {
+	p.logical.Add(1)
+	p.mu.Lock()
+	if idx, ok := p.table[pid]; ok {
+		f := &p.frames[idx]
+		f.pins++
+		ready := f.ready
+		p.mu.Unlock()
+		<-ready
+		if f.err != nil {
+			err := f.err
+			p.Unpin(pid)
+			return nil, err
+		}
+		p.hits.Add(1)
+		return f.page, nil
+	}
+	idx, err := p.acquireFrameLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f := &p.frames[idx]
+	f.pid = pid
+	f.pins = 1
+	f.err = nil
+	f.page = nil
+	f.ready = make(chan struct{})
+	if f.buf == nil {
+		f.buf = make([]byte, p.reader.PageSize())
+	}
+	p.table[pid] = idx
+	p.mu.Unlock()
+
+	p.simulateLatency(pid)
+	loadErr := p.reader.ReadPageInto(pid, f.buf)
+	if loadErr == nil {
+		f.page, loadErr = storage.ParsePage(f.buf)
+	}
+	f.err = loadErr
+	p.physical.Add(1)
+	close(f.ready)
+	if loadErr != nil {
+		p.Unpin(pid)
+		return nil, loadErr
+	}
+	return f.page, nil
+}
+
+// Unpin releases one pin on pid. Unpinning a page that is not resident or
+// not pinned panics: it is always a caller bug.
+func (p *Pool) Unpin(pid storage.PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, ok := p.table[pid]
+	if !ok {
+		panic(fmt.Sprintf("buffer: unpin of non-resident page %d", pid))
+	}
+	f := &p.frames[idx]
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", pid))
+	}
+	f.pins--
+	if f.pins == 0 {
+		if f.err != nil {
+			// Drop failed loads immediately so they are retried next time.
+			delete(p.table, pid)
+			p.free = append(p.free, idx)
+			return
+		}
+		p.evictable = append(p.evictable, idx)
+	}
+}
+
+// acquireFrameLocked returns a frame index ready for reuse. Caller holds mu.
+func (p *Pool) acquireFrameLocked() (int, error) {
+	if n := len(p.free); n > 0 {
+		idx := p.free[n-1]
+		p.free = p.free[:n-1]
+		return idx, nil
+	}
+	for len(p.evictable) > 0 {
+		idx := p.evictable[0]
+		p.evictable = p.evictable[1:]
+		f := &p.frames[idx]
+		if f.pins != 0 {
+			continue // re-pinned since enqueued
+		}
+		if cur, ok := p.table[f.pid]; !ok || cur != idx {
+			continue // stale entry
+		}
+		delete(p.table, f.pid)
+		p.evictions.Add(1)
+		return idx, nil
+	}
+	// Slow fallback: the evictable queue can miss frames when entries were
+	// skipped as stale; rescan.
+	for idx := range p.frames {
+		f := &p.frames[idx]
+		if f.pins == 0 {
+			if cur, ok := p.table[f.pid]; ok && cur == idx {
+				delete(p.table, f.pid)
+				p.evictions.Add(1)
+				return idx, nil
+			}
+		}
+	}
+	return 0, ErrNoFreeFrame
+}
+
+func (p *Pool) simulateLatency(pid storage.PageID) {
+	if p.opts.PerPageLatency == 0 && p.opts.SeekLatency == 0 {
+		return
+	}
+	last := p.lastRead.Swap(int64(pid))
+	d := p.opts.PerPageLatency
+	if int64(pid) != last+1 {
+		d += p.opts.SeekLatency
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// ErrPoolClosed is delivered to AsyncRead callbacks issued after Close.
+var ErrPoolClosed = errors.New("buffer: pool closed")
+
+// AsyncRead schedules a read of pid; cb runs in an I/O worker goroutine once
+// the page is pinned (or failed). The page stays pinned across the callback
+// and until the caller Unpins it — mirroring the paper's AsyncRead whose
+// callback (ComputeCandidateSequences / ExtVertexMapping) processes the page
+// while further reads proceed. wg, if non-nil, is Done when cb returns.
+// After Close, the callback fires immediately with ErrPoolClosed.
+func (p *Pool) AsyncRead(pid storage.PageID, wg *sync.WaitGroup, cb func(*storage.Page, error)) {
+	if p.closed.Load() {
+		if cb != nil {
+			cb(nil, ErrPoolClosed)
+		}
+		if wg != nil {
+			wg.Done()
+		}
+		return
+	}
+	p.ioq <- ioRequest{pid: pid, cb: cb, wg: wg}
+}
+
+func (p *Pool) ioWorker() {
+	defer p.ioWG.Done()
+	for req := range p.ioq {
+		page, err := p.Pin(req.pid)
+		if req.cb != nil {
+			req.cb(page, err)
+		}
+		if req.wg != nil {
+			req.wg.Done()
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dualsim/internal/graph"
+	"dualsim/internal/storage"
+)
+
+// testDB builds a small database in a temp dir and opens it.
+func testDB(t *testing.T, n, m, pageSize int, seed int64) *storage.DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][2]graph.VertexID, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, [2]graph.VertexID{
+			graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)),
+		})
+	}
+	g := graph.MustNewGraph(n, edges)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.db")
+	if _, err := storage.BuildFromGraph(path, g, storage.BuildOptions{PageSize: pageSize, TempDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPinUnpinBasic(t *testing.T) {
+	db := testDB(t, 100, 300, 256, 1)
+	p, err := NewPool(db, Options{Frames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	page, err := p.Pin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.ID != 0 {
+		t.Fatalf("page ID = %d", page.ID)
+	}
+	if !p.Resident(0) {
+		t.Fatal("page 0 should be resident")
+	}
+	st := p.Stats()
+	if st.PhysicalReads != 1 || st.LogicalReads != 1 {
+		t.Fatalf("stats after miss: %+v", st)
+	}
+	// Second pin: hit.
+	if _, err := p.Pin(0); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats()
+	if st.PhysicalReads != 1 || st.Hits != 1 {
+		t.Fatalf("stats after hit: %+v", st)
+	}
+	p.Unpin(0)
+	p.Unpin(0)
+}
+
+func TestEvictionRespectsPins(t *testing.T) {
+	db := testDB(t, 200, 800, 128, 2)
+	if db.NumPages() < 6 {
+		t.Skip("graph too small")
+	}
+	p, err := NewPool(db, Options{Frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if _, err := p.Pin(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Pin(1); err != nil {
+		t.Fatal(err)
+	}
+	// Pool full with pinned pages: third pin must fail.
+	if _, err := p.Pin(2); !errors.Is(err, ErrNoFreeFrame) {
+		t.Fatalf("want ErrNoFreeFrame, got %v", err)
+	}
+	p.Unpin(1)
+	// Now page 2 can evict page 1.
+	if _, err := p.Pin(2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Resident(1) {
+		t.Fatal("page 1 should be evicted")
+	}
+	if !p.Resident(0) || !p.Resident(2) {
+		t.Fatal("pages 0 and 2 should be resident")
+	}
+	if st := p.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	p.Unpin(0)
+	p.Unpin(2)
+}
+
+func TestUnpinPanicsOnMisuse(t *testing.T) {
+	db := testDB(t, 50, 100, 256, 3)
+	p, err := NewPool(db, Options{Frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	assertPanics(t, "non-resident", func() { p.Unpin(0) })
+	if _, err := p.Pin(0); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(0)
+	assertPanics(t, "double unpin", func() { p.Unpin(0) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestPinOutOfRange(t *testing.T) {
+	db := testDB(t, 50, 100, 256, 4)
+	p, err := NewPool(db, Options{Frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Pin(storage.PageID(db.NumPages() + 5)); err == nil {
+		t.Fatal("out-of-range pin accepted")
+	}
+	// Failed loads must not leak frames.
+	if _, err := p.Pin(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Pin(1); err != nil && db.NumPages() > 1 {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncReadBatch(t *testing.T) {
+	db := testDB(t, 300, 1200, 128, 5)
+	p, err := NewPool(db, Options{Frames: db.NumPages(), IOWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	got := map[storage.PageID]bool{}
+	for pid := 0; pid < db.NumPages(); pid++ {
+		wg.Add(1)
+		p.AsyncRead(storage.PageID(pid), &wg, func(page *storage.Page, err error) {
+			if err != nil {
+				t.Errorf("async read: %v", err)
+				return
+			}
+			mu.Lock()
+			got[page.ID] = true
+			mu.Unlock()
+		})
+	}
+	wg.Wait()
+	if len(got) != db.NumPages() {
+		t.Fatalf("read %d pages, want %d", len(got), db.NumPages())
+	}
+	for pid := 0; pid < db.NumPages(); pid++ {
+		p.Unpin(storage.PageID(pid))
+	}
+	if p.PinnedCount() != 0 {
+		t.Fatalf("pinned frames remain: %d", p.PinnedCount())
+	}
+}
+
+func TestConcurrentPinSamePage(t *testing.T) {
+	db := testDB(t, 100, 400, 256, 6)
+	p, err := NewPool(db, Options{Frames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				page, err := p.Pin(0)
+				if err != nil {
+					t.Errorf("pin: %v", err)
+					return
+				}
+				if page.ID != 0 {
+					t.Errorf("page ID %d", page.ID)
+				}
+				p.Unpin(0)
+			}
+		}()
+	}
+	wg.Wait()
+	// All that concurrency must cost at most a handful of physical reads
+	// (one unless the page got evicted, which it can't: pool never fills).
+	if st := p.Stats(); st.PhysicalReads != 1 {
+		t.Fatalf("physical reads = %d, want 1", st.PhysicalReads)
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	db := testDB(t, 400, 2000, 128, 7)
+	frames := db.NumPages()/2 + 1
+	p, err := NewPool(db, Options{Frames: frames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < 200; j++ {
+				pid := storage.PageID(rng.Intn(db.NumPages()))
+				page, err := p.Pin(pid)
+				if err != nil {
+					if errors.Is(err, ErrNoFreeFrame) {
+						continue // transient full pool under concurrency
+					}
+					t.Errorf("pin %d: %v", pid, err)
+					return
+				}
+				if page.ID != pid {
+					t.Errorf("page ID %d, want %d", page.ID, pid)
+				}
+				p.Unpin(pid)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if p.PinnedCount() != 0 {
+		t.Fatalf("pins leaked: %d", p.PinnedCount())
+	}
+}
+
+func TestPageContentMatchesDB(t *testing.T) {
+	db := testDB(t, 150, 600, 128, 8)
+	p, err := NewPool(db, Options{Frames: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for pid := 0; pid < db.NumPages(); pid++ {
+		got, err := p.Pin(storage.PageID(pid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := db.ReadPage(storage.PageID(pid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Records) != len(want.Records) {
+			t.Fatalf("page %d: %d records via pool, %d direct", pid, len(got.Records), len(want.Records))
+		}
+		p.Unpin(storage.PageID(pid))
+	}
+}
+
+func TestAllocatePaperStrategy(t *testing.T) {
+	// Triangle (2 levels): everything except the async frames goes to L1.
+	a, err := Allocate(100, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[1] != 8 || a[0] != 92 {
+		t.Fatalf("2-level alloc = %v", a)
+	}
+	// 3 levels: last = 2*threads, first = 2/3 of rest.
+	a, err = Allocate(100, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[2] != 4 {
+		t.Fatalf("last level = %d, want 4", a[2])
+	}
+	if a[0] != (100-4)*2/3 {
+		t.Fatalf("first level = %d, want %d", a[0], (100-4)*2/3)
+	}
+	if a[0]+a[1]+a[2] != 100 {
+		t.Fatalf("alloc %v does not sum to 100", a)
+	}
+	// Single level.
+	a, err = Allocate(10, 1, 2)
+	if err != nil || a[0] != 10 {
+		t.Fatalf("1-level alloc = %v err=%v", a, err)
+	}
+	// Errors.
+	if _, err := Allocate(2, 3, 1); err == nil {
+		t.Fatal("too few frames accepted")
+	}
+	if _, err := Allocate(10, 0, 1); err == nil {
+		t.Fatal("zero levels accepted")
+	}
+}
+
+func TestAllocateQuickInvariants(t *testing.T) {
+	f := func(total16 uint16, levels8, threads8 uint8) bool {
+		total := int(total16%500) + 1
+		levels := int(levels8%5) + 1
+		threads := int(threads8%8) + 1
+		a, err := Allocate(total, levels, threads)
+		if err != nil {
+			return total < levels*2 || levels > total // only plausibly-small cases may fail
+		}
+		sum := 0
+		for _, x := range a {
+			if x < 1 {
+				return false
+			}
+			sum += x
+		}
+		return sum == total && len(a) == levels
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateEqual(t *testing.T) {
+	a, err := AllocateEqual(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 4 || a[1] != 3 || a[2] != 3 {
+		t.Fatalf("equal alloc = %v", a)
+	}
+	if _, err := AllocateEqual(2, 3); err == nil {
+		t.Fatal("too few frames accepted")
+	}
+}
+
+func TestLatencySimulationRuns(t *testing.T) {
+	db := testDB(t, 50, 150, 256, 9)
+	p, err := NewPool(db, Options{Frames: 4, PerPageLatency: 1, SeekLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for pid := 0; pid < db.NumPages() && pid < 4; pid++ {
+		if _, err := p.Pin(storage.PageID(pid)); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(storage.PageID(pid))
+	}
+}
+
+func ExampleAllocate() {
+	alloc, _ := Allocate(60, 3, 2)
+	fmt.Println(alloc)
+	// Output: [37 19 4]
+}
+
+func TestAsyncReadAfterClose(t *testing.T) {
+	db := testDB(t, 50, 150, 256, 10)
+	p, err := NewPool(db, Options{Frames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got error
+	p.AsyncRead(0, &wg, func(_ *storage.Page, err error) { got = err })
+	wg.Wait()
+	if !errors.Is(got, ErrPoolClosed) {
+		t.Fatalf("want ErrPoolClosed, got %v", got)
+	}
+	// Close is idempotent.
+	p.Close()
+}

@@ -1,0 +1,62 @@
+package core
+
+import "math"
+
+// CostModel implements the paper's I/O cost analysis (Section 5.3,
+// Equation 1):
+//
+//	sum over levels l=1..|V_R| of
+//	    prod_{i=1..l} s_i × ( |E| / (M/(|V_R|-1)) )^(l-1) × |E|/B
+//
+// where |E| is the edge count (one memory word per edge), M the buffer
+// size in words, B the page size in words, and s_i the average reduction
+// factor of level i (the fraction of the graph reachable from a level's
+// windows; s_1 = 1).
+type CostModel struct {
+	// Edges is |E|.
+	Edges float64
+	// BufferWords is M: the buffer capacity in edge words.
+	BufferWords float64
+	// PageWords is B: page capacity in edge words.
+	PageWords float64
+	// Levels is |V_R|.
+	Levels int
+	// Reduction holds s_1..s_L; nil means every s_i = 1 (the upper bound).
+	Reduction []float64
+}
+
+// PredictedReads evaluates Equation 1, returning the estimated number of
+// page reads.
+func (c CostModel) PredictedReads() float64 {
+	if c.Levels < 1 || c.Edges <= 0 || c.BufferWords <= 0 || c.PageWords <= 0 {
+		return 0
+	}
+	if c.Levels == 1 {
+		// A single level scans the graph once.
+		return c.Edges / c.PageWords
+	}
+	region := c.BufferWords / float64(c.Levels-1)
+	total := 0.0
+	sProd := 1.0
+	for l := 1; l <= c.Levels; l++ {
+		s := 1.0
+		if c.Reduction != nil && l-1 < len(c.Reduction) {
+			s = c.Reduction[l-1]
+		}
+		sProd *= s
+		total += sProd * math.Pow(c.Edges/region, float64(l-1)) * (c.Edges / c.PageWords)
+	}
+	return total
+}
+
+// ModelFor builds the cost model for one run: buffer and page sizes are
+// converted to 4-byte edge words.
+func (e *Engine) ModelFor(levels int, reduction []float64) CostModel {
+	return CostModel{
+		Edges:       2 * float64(e.db.NumEdges()), // each undirected edge stored twice
+		BufferWords: float64(e.frames) * float64(e.db.PageSize()) / 4,
+		PageWords:   float64(e.db.PageSize()) / 4,
+		Levels:      levels,
+		Reduction:   reduction,
+	}
+}

@@ -1,0 +1,330 @@
+// Package core implements the DUALSIM execution engine (Section 5 of the
+// paper): level-by-level traversal of the data graph over merged candidate
+// vertex/page windows, overlapped internal and external subgraph
+// enumeration, asynchronous I/O with callback processing, and non-red
+// (black/ivory) vertex matching from in-buffer adjacency lists.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dualsim/internal/buffer"
+	"dualsim/internal/graph"
+	"dualsim/internal/plan"
+	"dualsim/internal/rbi"
+	"dualsim/internal/storage"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Threads is the number of enumeration workers (default GOMAXPROCS).
+	Threads int
+	// BufferFrames fixes the buffer pool capacity in pages. When zero,
+	// BufferFraction applies.
+	BufferFrames int
+	// BufferFraction sizes the buffer as a fraction of the database's page
+	// count (default 0.15, the paper's default buffer budget).
+	BufferFraction float64
+	// CoverMode selects MCVC (default) or MVC red vertices.
+	CoverMode rbi.CoverMode
+	// EqualAllocation divides the buffer equally among levels (the OPT
+	// strategy) instead of the paper's allocation. Ablation only.
+	EqualAllocation bool
+	// WorstOrder picks the Cartesian-maximizing global matching order.
+	// Ablation only.
+	WorstOrder bool
+	// IOWorkers is the number of asynchronous I/O goroutines (default 4).
+	IOWorkers int
+	// PerPageLatency and SeekLatency simulate device characteristics.
+	PerPageLatency time.Duration
+	SeekLatency    time.Duration
+	// OnMatch, when non-nil, is invoked for every embedding with the
+	// mapping m (query vertex -> data vertex). It is called concurrently
+	// from multiple workers and the slice is reused; copy it if retained.
+	OnMatch func(m []graph.VertexID)
+}
+
+// Result reports one enumeration run.
+type Result struct {
+	// Count is the number of embeddings found (each occurrence once).
+	Count uint64
+	// Internal and External split Count by where the red match resided.
+	Internal uint64
+	External uint64
+	// Plan is the preparation output.
+	Plan *plan.Plan
+	// PrepTime and ExecTime are the two phases' durations.
+	PrepTime time.Duration
+	ExecTime time.Duration
+	// IO holds the buffer activity during execution.
+	IO buffer.Stats
+	// Level1Windows counts iterations of the outermost (internal area)
+	// window loop.
+	Level1Windows int
+	// WindowsPerLevel counts window iterations at every level (index 0 =
+	// level 1). Deeper levels multiply, so these explain the I/O curve.
+	WindowsPerLevel []int
+	// BufferFrames is the pool capacity used.
+	BufferFrames int
+	// IOWait is orchestrator time blocked on page loads — the I/O cost not
+	// hidden behind enumeration work (the paper's overlap target).
+	IOWait time.Duration
+}
+
+// Database is the storage interface the engine consumes. *storage.DB
+// implements it; tests wrap it to inject I/O failures.
+type Database interface {
+	buffer.PageReader
+	NumVertices() int
+	NumEdges() uint64
+	PageOf(v graph.VertexID) storage.PageID
+	SpanOf(v graph.VertexID) (first, last storage.PageID)
+	Degree(v graph.VertexID) int
+}
+
+// Engine runs subgraph enumeration queries against one database.
+type Engine struct {
+	db      Database
+	pool    *buffer.Pool
+	opts    Options
+	frames  int
+	all     []graph.VertexID // every vertex ID, ascending (shared, read-only)
+	maxSpan int              // pages of the largest adjacency list
+}
+
+// NewEngine opens an engine over db. Close the engine (not the db) when
+// done.
+func NewEngine(db Database, opts Options) (*Engine, error) {
+	if opts.Threads <= 0 {
+		opts.Threads = runtime.GOMAXPROCS(0)
+	}
+	if opts.BufferFraction == 0 {
+		opts.BufferFraction = 0.15
+	}
+	frames := opts.BufferFrames
+	if frames <= 0 {
+		frames = int(float64(db.NumPages()) * opts.BufferFraction)
+	}
+	// Floor: enough frames for the deepest supported plan plus async slack.
+	min := 2*opts.Threads + 8
+	if frames < min {
+		frames = min
+	}
+	pool, err := buffer.NewPool(db, buffer.Options{
+		Frames:         frames,
+		IOWorkers:      opts.IOWorkers,
+		PerPageLatency: opts.PerPageLatency,
+		SeekLatency:    opts.SeekLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	all := make([]graph.VertexID, db.NumVertices())
+	for i := range all {
+		all[i] = graph.VertexID(i)
+	}
+	maxSpan := 1
+	for v := 0; v < db.NumVertices(); v++ {
+		first, last := db.SpanOf(graph.VertexID(v))
+		if s := int(last-first) + 1; s > maxSpan {
+			maxSpan = s
+		}
+	}
+	return &Engine{db: db, pool: pool, opts: opts, frames: frames, all: all, maxSpan: maxSpan}, nil
+}
+
+// Close releases the engine's buffer pool.
+func (e *Engine) Close() { e.pool.Close() }
+
+// DB returns the underlying database.
+func (e *Engine) DB() Database { return e.db }
+
+// BufferFrames returns the pool capacity in pages.
+func (e *Engine) BufferFrames() int { return e.frames }
+
+// Run enumerates all occurrences of q and returns statistics. Safe to call
+// repeatedly; not safe for concurrent Runs on one Engine (the buffer budget
+// is planned per run).
+func (e *Engine) Run(q *graph.Query) (*Result, error) {
+	p, err := plan.Prepare(q, plan.Options{CoverMode: e.opts.CoverMode, WorstOrder: e.opts.WorstOrder})
+	if err != nil {
+		return nil, err
+	}
+	return e.RunPlan(p)
+}
+
+// RunPlan executes a prepared plan (exposed for ablations that tweak plans).
+func (e *Engine) RunPlan(p *plan.Plan) (*Result, error) {
+	startExec := time.Now()
+	var alloc []int
+	var err error
+	if e.opts.EqualAllocation {
+		alloc, err = buffer.AllocateEqual(e.frames, p.K)
+	} else {
+		alloc, err = buffer.Allocate(e.frames, p.K, e.opts.Threads)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating %d frames over %d levels: %w", e.frames, p.K, err)
+	}
+	if err := e.ensureSpanBudget(alloc); err != nil {
+		return nil, err
+	}
+	statsBefore := e.pool.Stats()
+
+	r := &run{
+		e:       e,
+		p:       p,
+		k:       p.K,
+		alloc:   alloc,
+		cand:    make([][]candSeq, len(p.Groups)),
+		winData: make([]*levelWindow, p.K),
+		onMatch: e.opts.OnMatch,
+	}
+	for g := range r.cand {
+		r.cand[g] = make([]candSeq, p.K)
+		f := p.Groups[g].Forest
+		for l := 0; l < p.K; l++ {
+			if f.Parent[l] < 0 {
+				r.cand[g][l] = candSeq{full: true} // roots start with every vertex
+			}
+		}
+	}
+	r.windowsPer = make([]int, p.K)
+	r.workers = newWorkerPool(e.opts.Threads)
+	defer r.workers.close()
+
+	if err := r.processLevel(0); err != nil {
+		return nil, err
+	}
+	if err := r.firstErr(); err != nil {
+		return nil, err
+	}
+
+	statsAfter := e.pool.Stats()
+	return &Result{
+		Count:    r.internalCount.Load() + r.externalCount.Load(),
+		Internal: r.internalCount.Load(),
+		External: r.externalCount.Load(),
+		Plan:     p,
+		PrepTime: p.PrepTime,
+		ExecTime: time.Since(startExec),
+		IO: buffer.Stats{
+			LogicalReads:  statsAfter.LogicalReads - statsBefore.LogicalReads,
+			PhysicalReads: statsAfter.PhysicalReads - statsBefore.PhysicalReads,
+			Hits:          statsAfter.Hits - statsBefore.Hits,
+			Evictions:     statsAfter.Evictions - statsBefore.Evictions,
+		},
+		Level1Windows:   r.windows1,
+		WindowsPerLevel: r.windowsPer,
+		BufferFrames:    e.frames,
+		IOWait:          r.ioWait,
+	}, nil
+}
+
+// ensureSpanBudget raises every level's frame budget to the largest
+// adjacency-list span (windows load whole vertices, so a level must be able
+// to hold at least one), stealing frames from the richest levels. It fails
+// when the pool simply cannot hold one maximal vertex per level — the
+// remedy is a larger buffer.
+func (e *Engine) ensureSpanBudget(alloc []int) error {
+	if e.maxSpan*len(alloc) > e.frames {
+		return fmt.Errorf("core: largest adjacency list spans %d pages but only %d frames are available for %d levels; increase the buffer size",
+			e.maxSpan, e.frames, len(alloc))
+	}
+	for l := range alloc {
+		for alloc[l] < e.maxSpan {
+			richest := -1
+			for j := range alloc {
+				if j != l && alloc[j] > e.maxSpan && (richest < 0 || alloc[j] > alloc[richest]) {
+					richest = j
+				}
+			}
+			if richest < 0 {
+				return fmt.Errorf("core: cannot give level %d a %d-page window budget with %d frames; increase the buffer size",
+					l+1, e.maxSpan, e.frames)
+			}
+			take := alloc[richest] - e.maxSpan
+			if take > e.maxSpan-alloc[l] {
+				take = e.maxSpan - alloc[l]
+			}
+			alloc[richest] -= take
+			alloc[l] += take
+		}
+	}
+	return nil
+}
+
+// Count is a convenience wrapper returning only the occurrence count.
+func (e *Engine) Count(q *graph.Query) (uint64, error) {
+	res, err := e.Run(q)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// run carries the state of one enumeration.
+type run struct {
+	e     *Engine
+	p     *plan.Plan
+	k     int
+	alloc []int
+
+	// cand[g][l] is the candidate vertex sequence of group g's node at
+	// level l, valid while its parent's current window is set.
+	cand [][]candSeq
+	// winData[l] describes the currently loaded window at level l.
+	winData []*levelWindow
+	// pathPinned tracks pages pinned by the current recursion path (page ->
+	// pin count). Maintained by the orchestrating goroutine only.
+	pathPinned map[storage.PageID]int
+
+	workers *workerPool
+
+	internalCount atomic.Uint64
+	externalCount atomic.Uint64
+	windows1      int
+	windowsPer    []int
+	// ioWait accumulates time the orchestrator spent blocked on window
+	// loads — the I/O cost the overlap strategy failed to hide.
+	ioWait time.Duration
+
+	errOnce sync.Once
+	err     atomic.Value // error
+
+	onMatch func([]graph.VertexID)
+}
+
+func (r *run) fail(err error) {
+	if err == nil {
+		return
+	}
+	r.errOnce.Do(func() { r.err.Store(err) })
+}
+
+func (r *run) firstErr() error {
+	if v := r.err.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// candSeq is a candidate vertex sequence: either the full vertex range or an
+// explicit sorted list.
+type candSeq struct {
+	full bool
+	list []graph.VertexID
+}
+
+func (c candSeq) slice(all []graph.VertexID) []graph.VertexID {
+	if c.full {
+		return all
+	}
+	return c.list
+}
+
+func (c candSeq) empty() bool { return !c.full && len(c.list) == 0 }

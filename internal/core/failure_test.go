@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dualsim/internal/graph"
+	"dualsim/internal/storage"
+)
+
+// flakyDB wraps a Database and fails every read after a threshold.
+type flakyDB struct {
+	Database
+	reads     atomic.Int64
+	failAfter int64
+	err       error
+}
+
+func (f *flakyDB) ReadPageInto(pid storage.PageID, buf []byte) error {
+	if f.reads.Add(1) > f.failAfter {
+		return f.err
+	}
+	return f.Database.ReadPageInto(pid, buf)
+}
+
+func TestEngineSurfacesReadErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := randomGraph(rng, 200, 1200)
+	db := buildDB(t, g, 128)
+	boom := errors.New("injected disk failure")
+
+	// Fail at various points in the run: first read, mid-run, near the end.
+	for _, failAfter := range []int64{0, 3, 25, 200} {
+		fdb := &flakyDB{Database: db, failAfter: failAfter, err: boom}
+		eng, err := NewEngine(fdb, Options{Threads: 3, BufferFrames: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = eng.Run(graph.Clique4())
+		eng.Close()
+		if err == nil {
+			// Legitimate only if the whole query needed <= failAfter reads.
+			if failAfter < 5 {
+				t.Fatalf("failAfter=%d: expected injected error", failAfter)
+			}
+			continue
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("failAfter=%d: got %v, want injected error", failAfter, err)
+		}
+	}
+}
+
+func TestEngineRecoversAfterTransientFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	g := randomGraph(rng, 120, 700)
+	db := buildDB(t, g, 256)
+	boom := errors.New("transient failure")
+	fdb := &flakyDB{Database: db, failAfter: 2, err: boom}
+
+	eng, err := NewEngine(fdb, Options{Threads: 2, BufferFrames: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Run(graph.Triangle()); !errors.Is(err, boom) {
+		t.Fatalf("expected failure, got %v", err)
+	}
+	// Heal the device: the same engine must complete the query correctly
+	// (no leaked pins or stale candidate state).
+	fdb.failAfter = 1 << 60
+	res, err := eng.Run(graph.Triangle())
+	if err != nil {
+		t.Fatalf("after healing: %v", err)
+	}
+	rg, _ := graph.ReorderByDegree(g)
+	if want := graph.CountOccurrences(rg, graph.Triangle()); res.Count != want {
+		t.Fatalf("after healing: count %d, want %d", res.Count, want)
+	}
+}
+
+func TestEngineVertexSpanExceedsBudget(t *testing.T) {
+	// One huge hub on tiny pages with a minimal buffer: the hub's span
+	// cannot fit a level's budget, and the engine must say so clearly.
+	var edges [][2]graph.VertexID
+	for i := 1; i <= 600; i++ {
+		edges = append(edges, [2]graph.VertexID{0, graph.VertexID(i)})
+		edges = append(edges, [2]graph.VertexID{graph.VertexID(i), graph.VertexID(i%600 + 1)})
+	}
+	g := graph.MustNewGraph(601, edges)
+	db := buildDB(t, g, 64) // ~9 entries per page: hub spans ~60 pages
+	eng, err := NewEngine(db, Options{Threads: 1, BufferFrames: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	_, err = eng.Run(graph.Triangle())
+	if err == nil {
+		t.Fatal("expected span-exceeds-budget error")
+	}
+	if !strings.Contains(err.Error(), "increase the buffer") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestEngineErrorsDoNotPoisonPool(t *testing.T) {
+	// After a failed run, the pool must have zero pinned frames so later
+	// runs see the full buffer.
+	rng := rand.New(rand.NewSource(79))
+	g := randomGraph(rng, 150, 900)
+	db := buildDB(t, g, 128)
+	boom := fmt.Errorf("kaboom")
+	fdb := &flakyDB{Database: db, failAfter: 10, err: boom}
+	eng, err := NewEngine(fdb, Options{Threads: 2, BufferFrames: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Run(graph.House()); err == nil {
+		t.Fatal("expected failure")
+	}
+	if pinned := eng.pool.PinnedCount(); pinned != 0 {
+		t.Fatalf("failed run leaked %d pinned frames", pinned)
+	}
+}

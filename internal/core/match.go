@@ -1,0 +1,389 @@
+package core
+
+import (
+	"sort"
+
+	"dualsim/internal/graph"
+	"dualsim/internal/storage"
+)
+
+// matcher carries the per-task state of vertex-level mapping: the data
+// vertex assigned to each position, the query-vertex mapping being expanded,
+// and local counters flushed when the task ends.
+type matcher struct {
+	r  *run
+	lw *levelWindow // level-0 window (internal) or last-level window (external)
+	g  int          // current group
+
+	internal bool
+	lastV    graph.VertexID
+	lastAdj  []graph.VertexID
+
+	pos2v   []graph.VertexID
+	posMask uint32 // assigned positions
+
+	mapping []graph.VertexID // query vertex -> data vertex
+	qMask   uint32           // mapped query vertices
+
+	localInternal uint64
+	localExternal uint64
+}
+
+func (r *run) newMatcher(lw *levelWindow, internal bool) *matcher {
+	return &matcher{
+		r:        r,
+		lw:       lw,
+		internal: internal,
+		pos2v:    make([]graph.VertexID, r.k),
+		mapping:  make([]graph.VertexID, r.p.Query.NumVertices()),
+	}
+}
+
+func (m *matcher) flush() {
+	if m.localInternal > 0 {
+		m.r.internalCount.Add(m.localInternal)
+	}
+	if m.localExternal > 0 {
+		m.r.externalCount.Add(m.localExternal)
+	}
+}
+
+// adjOfPos returns the adjacency list of the data vertex assigned to
+// position pos.
+func (m *matcher) adjOfPos(pos int) []graph.VertexID {
+	v := m.pos2v[pos]
+	return m.adjOfData(v)
+}
+
+// adjOfData resolves the adjacency list of an assigned (hence resident)
+// data vertex.
+func (m *matcher) adjOfData(v graph.VertexID) []graph.VertexID {
+	if !m.internal && v == m.lastV {
+		return m.lastAdj
+	}
+	if m.internal {
+		return m.lw.adj[v]
+	}
+	for l := 0; l < m.r.k-1; l++ {
+		if wd := m.r.winData[l]; wd != nil {
+			if adj, ok := wd.adj[v]; ok {
+				return adj
+			}
+		}
+	}
+	if adj, ok := m.lw.adj[v]; ok {
+		return adj
+	}
+	return nil
+}
+
+// orderOK checks the total-order constraints between a candidate v for
+// position pos and every already-assigned position.
+func (m *matcher) orderOK(pos int, v graph.VertexID) bool {
+	for p := 0; p < m.r.k; p++ {
+		if m.posMask&(1<<uint(p)) == 0 || p == pos {
+			continue
+		}
+		if p < pos {
+			if !(m.pos2v[p] < v) {
+				return false
+			}
+		} else if !(v < m.pos2v[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+// allInternal reports whether every assigned position lies in the current
+// internal area (the level-0 window's ID range).
+func (m *matcher) allInternal() bool {
+	wd := m.r.winData[0]
+	for p := 0; p < m.r.k; p++ {
+		v := m.pos2v[p]
+		if v < wd.lo || v > wd.hi {
+			return false
+		}
+	}
+	return true
+}
+
+// --- external enumeration -------------------------------------------------
+
+// extMapPage runs EXTVERTEXMAPPING for every complete record of a
+// just-loaded last-level page. Invoked on a worker while later pages of the
+// window may still be loading.
+func (r *run) extMapPage(page *storage.Page, lw *levelWindow) {
+	if r.firstErr() != nil {
+		return
+	}
+	m := r.newMatcher(lw, false)
+	for _, rec := range page.Records {
+		if rec.Continues || rec.Continuation {
+			continue // handled by dispatchSplitVertices after the window loads
+		}
+		r.extMapRecord(m, rec.Vertex, rec.Adj)
+	}
+	m.flush()
+}
+
+// extMapVertex handles one multi-page vertex with its merged adjacency.
+func (r *run) extMapVertex(v graph.VertexID, adj []graph.VertexID, lw *levelWindow) {
+	if r.firstErr() != nil {
+		return
+	}
+	m := r.newMatcher(lw, false)
+	r.extMapRecord(m, v, adj)
+	m.flush()
+}
+
+func (r *run) extMapRecord(m *matcher, v graph.VertexID, adj []graph.VertexID) {
+	last := r.k - 1
+	pos := r.p.MatchingOrder[last]
+	for g := range r.p.Groups {
+		if !graph.ContainsSorted(m.lw.verts[g], v) {
+			continue
+		}
+		m.g = g
+		m.lastV, m.lastAdj = v, adj
+		m.pos2v[pos] = v
+		m.posMask = 1 << uint(pos)
+		r.extDescend(m, last-1)
+	}
+}
+
+// extDescend assigns the node at the given level (descending to 0) and
+// recurses; at level < 0 the red match is complete.
+func (r *run) extDescend(m *matcher, level int) {
+	if level < 0 {
+		if m.allInternal() {
+			return // counted by the internal enumeration of this window
+		}
+		r.expandSequences(m, false)
+		return
+	}
+	pos := r.p.MatchingOrder[level]
+	window := r.winData[level].verts[m.g]
+	vg := r.p.Groups[m.g]
+
+	// U_CON: assigned positions the topology requires pos to be adjacent to.
+	base, others := m.connectedLists(vg, pos)
+	if base == nil {
+		// No assigned neighbor: scan the node's whole current window.
+		for _, v := range window {
+			if !m.orderOK(pos, v) {
+				continue
+			}
+			m.assign(pos, v)
+			r.extDescend(m, level-1)
+			m.unassign(pos)
+		}
+		return
+	}
+	for _, v := range base {
+		if !graph.ContainsSorted(window, v) {
+			continue
+		}
+		if !m.orderOK(pos, v) {
+			continue
+		}
+		if !containsAll(others, v) {
+			continue
+		}
+		m.assign(pos, v)
+		r.extDescend(m, level-1)
+		m.unassign(pos)
+	}
+}
+
+// connectedLists gathers the adjacency lists of assigned positions adjacent
+// to pos in the group topology, returning the shortest as the iteration
+// base and the rest for membership checks. base == nil means U_CON is
+// empty.
+func (m *matcher) connectedLists(vg interface {
+	HasTopologyEdge(k, p, pp int) bool
+}, pos int) (base []graph.VertexID, others [][]graph.VertexID) {
+	k := m.r.k
+	for p := 0; p < k; p++ {
+		if m.posMask&(1<<uint(p)) == 0 {
+			continue
+		}
+		if !vg.HasTopologyEdge(k, p, pos) {
+			continue
+		}
+		adj := m.adjOfPos(p)
+		if base == nil || len(adj) < len(base) {
+			if base != nil {
+				others = append(others, base)
+			}
+			base = adj
+		} else {
+			others = append(others, adj)
+		}
+	}
+	return base, others
+}
+
+func containsAll(lists [][]graph.VertexID, v graph.VertexID) bool {
+	for _, l := range lists {
+		if !graph.ContainsSorted(l, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *matcher) assign(pos int, v graph.VertexID) {
+	m.pos2v[pos] = v
+	m.posMask |= 1 << uint(pos)
+}
+
+func (m *matcher) unassign(pos int) {
+	m.posMask &^= 1 << uint(pos)
+}
+
+// --- internal enumeration ---------------------------------------------------
+
+// internalEnumerate finds internal subgraphs: red matches entirely inside
+// the level-0 window. verts is this task's chunk of first-level candidates.
+func (r *run) internalEnumerate(g int, verts []graph.VertexID, lw *levelWindow) {
+	if r.firstErr() != nil {
+		return
+	}
+	m := r.newMatcher(lw, true)
+	m.g = g
+	pos0 := r.p.MatchingOrder[0]
+	for _, v := range verts {
+		m.pos2v[pos0] = v
+		m.posMask = 1 << uint(pos0)
+		r.intDescend(m, 1)
+	}
+	m.flush()
+}
+
+// intDescend assigns levels 1..k-1 in ascending order, restricted to the
+// internal window.
+func (r *run) intDescend(m *matcher, level int) {
+	if level == r.k {
+		r.expandSequences(m, true)
+		return
+	}
+	pos := r.p.MatchingOrder[level]
+	vg := r.p.Groups[m.g]
+	base, others := m.connectedLists(vg, pos)
+	if base == nil {
+		for _, v := range m.lw.verts[m.g] {
+			if !m.orderOK(pos, v) {
+				continue
+			}
+			m.assign(pos, v)
+			r.intDescend(m, level+1)
+			m.unassign(pos)
+		}
+		return
+	}
+	lo, hi := m.lw.lo, m.lw.hi
+	start := sort.Search(len(base), func(i int) bool { return base[i] >= lo })
+	for _, v := range base[start:] {
+		if v > hi {
+			break
+		}
+		if !m.orderOK(pos, v) {
+			continue
+		}
+		if !containsAll(others, v) {
+			continue
+		}
+		m.assign(pos, v)
+		r.intDescend(m, level+1)
+		m.unassign(pos)
+	}
+}
+
+// --- sequence expansion and non-red matching --------------------------------
+
+// expandSequences turns one complete position assignment into embeddings:
+// each full-order query sequence of the group yields a red mapping, which is
+// then extended over the black and ivory vertices.
+func (r *run) expandSequences(m *matcher, internal bool) {
+	for _, seq := range r.p.Groups[m.g].Sequences {
+		m.qMask = 0
+		for pos, qv := range seq {
+			m.mapping[qv] = m.pos2v[pos]
+			m.qMask |= 1 << uint(qv)
+		}
+		r.matchNonRed(m, 0, internal)
+	}
+}
+
+// matchNonRed extends the current red mapping over plan.RBI.NonRed[idx:]:
+// black vertices scan their red neighbor's adjacency list, ivory vertices
+// intersect the lists of their red neighbors. No I/O is performed — every
+// needed adjacency list is already in the buffer.
+func (r *run) matchNonRed(m *matcher, idx int, internal bool) {
+	if idx == len(r.p.RBI.NonRed) {
+		if internal {
+			m.localInternal++
+		} else {
+			m.localExternal++
+		}
+		if m.r.onMatch != nil {
+			m.r.onMatch(m.mapping)
+		}
+		return
+	}
+	u := r.p.RBI.NonRed[idx]
+	reds := r.p.RBI.RedNeighbors[u]
+	var base []graph.VertexID
+	var others [][]graph.VertexID
+	for _, rq := range reds {
+		adj := m.adjOfData(m.mapping[rq])
+		if base == nil || len(adj) < len(base) {
+			if base != nil {
+				others = append(others, base)
+			}
+			base = adj
+		} else {
+			others = append(others, adj)
+		}
+	}
+	for _, v := range base {
+		if !containsAll(others, v) {
+			continue
+		}
+		if !m.nonRedOK(u, v) {
+			continue
+		}
+		m.mapping[u] = v
+		m.qMask |= 1 << uint(u)
+		r.matchNonRed(m, idx+1, internal)
+		m.qMask &^= 1 << uint(u)
+	}
+}
+
+// nonRedOK checks injectivity and the partial orders for assigning data
+// vertex v to non-red query vertex u.
+func (m *matcher) nonRedOK(u int, v graph.VertexID) bool {
+	n := m.r.p.Query.NumVertices()
+	for qv := 0; qv < n; qv++ {
+		if m.qMask&(1<<uint(qv)) == 0 {
+			continue
+		}
+		if m.mapping[qv] == v {
+			return false
+		}
+	}
+	for _, c := range m.r.p.PO {
+		switch {
+		case c.Lo == u && m.qMask&(1<<uint(c.Hi)) != 0:
+			if !(v < m.mapping[c.Hi]) {
+				return false
+			}
+		case c.Hi == u && m.qMask&(1<<uint(c.Lo)) != 0:
+			if !(m.mapping[c.Lo] < v) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dualsim/internal/graph"
+	"dualsim/internal/storage"
+)
+
+// levelWindow is the currently loaded merged vertex/page window at a level.
+type levelWindow struct {
+	// verts[g] is group g's current vertex window (sorted): the slice of
+	// its candidate sequence falling inside the merged window.
+	verts [][]graph.VertexID
+	// adj maps each window vertex to its full adjacency list (sublists
+	// merged). Read-only once built.
+	adj map[graph.VertexID][]graph.VertexID
+	// lo..hi is the merged window's vertex ID range.
+	lo, hi graph.VertexID
+	// pages are the pages the window needs (path-pin accounting covers all
+	// of them); pinned records the subset whose loads succeeded and that
+	// therefore hold a buffer pin to release.
+	pages  []storage.PageID
+	pinned map[storage.PageID]bool
+	// loaded pages by ID for the last-level split-vertex pass.
+	loadedPages map[storage.PageID]*storage.Page
+}
+
+// processLevel drives the merged-window iteration at level l (Algorithm 1
+// lines 7-16 for l == 0, Algorithm 2 otherwise). Windows at level l nest
+// inside the current windows of all earlier levels.
+func (r *run) processLevel(l int) error {
+	if r.pathPinned == nil {
+		r.pathPinned = make(map[storage.PageID]int)
+	}
+	merged := r.mergedCandidates(l)
+	iter := windowIterator{r: r, level: l, merged: merged}
+	for iter.next() {
+		if err := r.firstErr(); err != nil {
+			return err
+		}
+		lw, err := r.loadWindow(l, iter.windowVerts(), l == r.k-1 && r.k > 1)
+		if err != nil {
+			return err
+		}
+		r.winData[l] = lw
+		r.windowsPer[l]++
+		if l == 0 {
+			r.windows1++
+		}
+
+		if l == r.k-1 {
+			if r.k > 1 {
+				// Last level: matching already dispatched page-by-page as
+				// reads completed (loadWindow); handle split vertices.
+				r.dispatchSplitVertices(lw)
+			} else {
+				// Single-level plans: the whole window is the internal area.
+				r.dispatchInternal(lw)
+			}
+			r.workers.drain()
+		} else {
+			r.computeChildCandidates(l)
+			if l == 0 {
+				// Overlap internal enumeration with the external traversal.
+				r.dispatchInternal(lw)
+			}
+			if err := r.processLevel(l + 1); err != nil {
+				r.unloadWindow(l, lw)
+				return err
+			}
+			if l == 0 {
+				r.workers.drain() // internal tasks may still be running
+			}
+			r.clearChildCandidates(l)
+		}
+		r.unloadWindow(l, lw)
+		if err := r.firstErr(); err != nil {
+			return err
+		}
+	}
+	r.winData[l] = nil
+	return nil
+}
+
+// mergedCandidates returns the merged candidate vertex sequence for level l:
+// the sorted union of every group's candidate sequence.
+func (r *run) mergedCandidates(l int) []graph.VertexID {
+	var lists [][]graph.VertexID
+	for g := range r.cand {
+		c := r.cand[g][l]
+		if c.full {
+			return r.e.all
+		}
+		if len(c.list) > 0 {
+			lists = append(lists, c.list)
+		}
+	}
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	return unionSorted(lists)
+}
+
+func unionSorted(lists [][]graph.VertexID) []graph.VertexID {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]graph.VertexID, 0, total)
+	idx := make([]int, len(lists))
+	for {
+		best := -1
+		var bv graph.VertexID
+		for i, l := range lists {
+			if idx[i] >= len(l) {
+				continue
+			}
+			if best < 0 || l[idx[i]] < bv {
+				best, bv = i, l[idx[i]]
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		if len(out) == 0 || out[len(out)-1] != bv {
+			out = append(out, bv)
+		}
+		idx[best]++
+	}
+}
+
+// windowIterator chops a merged candidate sequence into consecutive windows
+// whose un-pinned page footprint fits the level's frame budget. Pages
+// already pinned by outer windows do not consume budget, so windows are
+// variably sized, exactly as in Section 5.1.
+type windowIterator struct {
+	r      *run
+	level  int
+	merged []graph.VertexID
+	start  int
+	curLo  int
+	curHi  int // window is merged[curLo:curHi]
+}
+
+func (it *windowIterator) next() bool {
+	if it.start >= len(it.merged) {
+		return false
+	}
+	r := it.r
+	budget := r.alloc[it.level]
+	newPages := make(map[storage.PageID]bool)
+	i := it.start
+	for i < len(it.merged) {
+		v := it.merged[i]
+		first, last := r.e.db.SpanOf(v)
+		// Count pages this vertex adds beyond the path-pinned set and the
+		// window's own set.
+		added := 0
+		for p := first; p <= last; p++ {
+			if r.pathPinned[p] == 0 && !newPages[p] {
+				added++
+			}
+		}
+		if len(newPages)+added > budget {
+			if i == it.start {
+				r.fail(fmt.Errorf("core: vertex %d spans %d pages, exceeding the %d-frame budget of level %d; increase the buffer size",
+					v, last-first+1, budget, it.level+1))
+				return false
+			}
+			break
+		}
+		for p := first; p <= last; p++ {
+			if r.pathPinned[p] == 0 {
+				newPages[p] = true
+			}
+		}
+		i++
+	}
+	it.curLo, it.curHi = it.start, i
+	it.start = i
+	return true
+}
+
+func (it *windowIterator) windowVerts() []graph.VertexID {
+	return it.merged[it.curLo:it.curHi]
+}
+
+// loadWindow pins every page needed by the window's vertices, builds the
+// merged adjacency map, and splits the window per group. When lastLevel is
+// set, complete records are dispatched to the matching workers as each page
+// load completes, overlapping CPU with the remaining I/O.
+func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelWindow, error) {
+	lw := &levelWindow{
+		verts:       make([][]graph.VertexID, len(r.p.Groups)),
+		adj:         make(map[graph.VertexID][]graph.VertexID),
+		pinned:      make(map[storage.PageID]bool),
+		loadedPages: make(map[storage.PageID]*storage.Page),
+	}
+	if len(verts) > 0 {
+		lw.lo, lw.hi = verts[0], verts[len(verts)-1]
+	}
+	// Page list: union of vertex spans, ascending (sequential issue order).
+	var pages []storage.PageID
+	seen := make(map[storage.PageID]bool)
+	for _, v := range verts {
+		first, last := r.e.db.SpanOf(v)
+		for p := first; p <= last; p++ {
+			if !seen[p] {
+				seen[p] = true
+				pages = append(pages, p)
+			}
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	lw.pages = pages
+
+	// Window membership per group: the intersection of the group's candidate
+	// sequence with the merged window range, precomputed so last-level
+	// callbacks can run before all pages land.
+	for g := range r.p.Groups {
+		lw.verts[g] = sliceRange(r.cand[g][l].slice(r.e.all), lw.lo, lw.hi)
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, pid := range pages {
+		r.pathPinned[pid]++
+		wg.Add(1)
+		pid := pid
+		r.e.pool.AsyncRead(pid, &wg, func(page *storage.Page, err error) {
+			if err != nil {
+				r.fail(err)
+				return
+			}
+			mu.Lock()
+			lw.pinned[pid] = true
+			lw.loadedPages[pid] = page
+			for _, rec := range page.Records {
+				if !rec.Continues && !rec.Continuation {
+					lw.adj[rec.Vertex] = rec.Adj
+				}
+			}
+			mu.Unlock()
+			if lastLevel {
+				// Overlap: match complete records while later pages load.
+				r.workers.submit(func() { r.extMapPage(page, lw) })
+			}
+		})
+	}
+	waitStart := time.Now()
+	wg.Wait()
+	r.ioWait += time.Since(waitStart)
+	if err := r.firstErr(); err != nil {
+		r.unloadWindow(l, lw)
+		return nil, err
+	}
+	// Merge split adjacency lists (multi-page vertices) for window vertices.
+	r.mergeSplitRecords(lw)
+	return lw, nil
+}
+
+// mergeSplitRecords assembles adjacency lists that span multiple pages into
+// lw.adj. Window chopping keeps a vertex's span inside one window, so all
+// chunks are present.
+func (r *run) mergeSplitRecords(lw *levelWindow) {
+	var split map[graph.VertexID][]graph.VertexID
+	for _, pid := range lw.pages {
+		page := lw.loadedPages[pid]
+		if page == nil {
+			continue
+		}
+		for _, rec := range page.Records {
+			if rec.Continues || rec.Continuation {
+				if split == nil {
+					split = make(map[graph.VertexID][]graph.VertexID)
+				}
+				split[rec.Vertex] = append(split[rec.Vertex], rec.Adj...)
+			}
+		}
+	}
+	for v, adj := range split {
+		if len(adj) == r.e.db.Degree(v) {
+			lw.adj[v] = adj
+		}
+		// Incomplete merges belong to vertices outside the window (their
+		// remaining chunks live on unpinned pages); they are never matched.
+	}
+}
+
+// dispatchSplitVertices schedules last-level matching for vertices whose
+// records span pages (excluded from the per-page fast path).
+func (r *run) dispatchSplitVertices(lw *levelWindow) {
+	for _, pid := range lw.pages {
+		page := lw.loadedPages[pid]
+		if page == nil {
+			continue
+		}
+		for _, rec := range page.Records {
+			if rec.Continues && !rec.Continuation {
+				v := rec.Vertex
+				adj, ok := lw.adj[v]
+				if !ok {
+					continue // outside the window
+				}
+				r.workers.submit(func() { r.extMapVertex(v, adj, lw) })
+			}
+		}
+	}
+}
+
+// unloadWindow releases the window: path-pin accounting covers every page
+// the window asked for, but only successfully loaded pages hold a buffer
+// pin (loads can fail mid-window).
+func (r *run) unloadWindow(l int, lw *levelWindow) {
+	_ = l
+	for _, pid := range lw.pages {
+		r.pathPinned[pid]--
+		if r.pathPinned[pid] == 0 {
+			delete(r.pathPinned, pid)
+		}
+		if lw.pinned[pid] {
+			r.e.pool.Unpin(pid)
+		}
+	}
+	lw.pages = nil
+	lw.pinned = nil
+}
+
+// computeChildCandidates fills cand[g][child] for every child of each
+// group's node at level l from the group's current vertex window, applying
+// the total-order pruning of Lemma 1: if the child's position follows
+// (precedes) the parent's, only larger (smaller) neighbors qualify.
+func (r *run) computeChildCandidates(l int) {
+	lw := r.winData[l]
+	for g, vg := range r.p.Groups {
+		for _, childLevel := range vg.Forest.Children[l] {
+			posParent := r.p.MatchingOrder[l]
+			posChild := r.p.MatchingOrder[childLevel]
+			var out []graph.VertexID
+			for _, v := range lw.verts[g] {
+				adj := lw.adj[v]
+				if posChild > posParent {
+					i := sort.Search(len(adj), func(i int) bool { return adj[i] > v })
+					out = append(out, adj[i:]...)
+				} else {
+					i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+					out = append(out, adj[:i]...)
+				}
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			out = dedupSorted(out)
+			r.cand[g][childLevel] = candSeq{list: out}
+		}
+	}
+}
+
+// clearChildCandidates resets the candidate sequences computed by
+// computeChildCandidates(l), freeing their memory between windows.
+func (r *run) clearChildCandidates(l int) {
+	for g, vg := range r.p.Groups {
+		for _, childLevel := range vg.Forest.Children[l] {
+			r.cand[g][childLevel] = candSeq{}
+		}
+	}
+}
+
+// dispatchInternal schedules internal subgraph enumeration over the level-0
+// window, chunked so workers share it.
+func (r *run) dispatchInternal(lw *levelWindow) {
+	for g := range r.p.Groups {
+		verts := lw.verts[g]
+		if len(verts) == 0 {
+			continue
+		}
+		chunks := r.e.opts.Threads * 4
+		if chunks > len(verts) {
+			chunks = len(verts)
+		}
+		size := (len(verts) + chunks - 1) / chunks
+		for lo := 0; lo < len(verts); lo += size {
+			hi := lo + size
+			if hi > len(verts) {
+				hi = len(verts)
+			}
+			g, lo, hi := g, lo, hi
+			r.workers.submit(func() { r.internalEnumerate(g, verts[lo:hi], lw) })
+		}
+	}
+}
+
+// sliceRange returns the subslice of sorted list with values in [lo, hi].
+func sliceRange(list []graph.VertexID, lo, hi graph.VertexID) []graph.VertexID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= lo })
+	j := sort.Search(len(list), func(j int) bool { return list[j] > hi })
+	return list[i:j]
+}
+
+func dedupSorted(list []graph.VertexID) []graph.VertexID {
+	if len(list) < 2 {
+		return list
+	}
+	out := list[:1]
+	for _, v := range list[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

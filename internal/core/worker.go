@@ -1,0 +1,47 @@
+package core
+
+import "sync"
+
+// workerPool is the enumeration thread pool. Internal and external tasks
+// share it, which realizes the paper's thread morphing: whichever kind of
+// work finishes first, idle workers immediately pick up the other kind.
+type workerPool struct {
+	tasks   chan func()
+	pending sync.WaitGroup
+	done    sync.WaitGroup
+}
+
+func newWorkerPool(threads int) *workerPool {
+	if threads < 1 {
+		threads = 1
+	}
+	p := &workerPool{tasks: make(chan func(), 4*threads)}
+	p.done.Add(threads)
+	for i := 0; i < threads; i++ {
+		go func() {
+			defer p.done.Done()
+			for task := range p.tasks {
+				task()
+				p.pending.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// submit schedules a task. Tasks must not submit further tasks (the pool
+// would deadlock while draining).
+func (p *workerPool) submit(task func()) {
+	p.pending.Add(1)
+	p.tasks <- task
+}
+
+// drain blocks until every submitted task has finished.
+func (p *workerPool) drain() { p.pending.Wait() }
+
+// close drains and terminates the workers.
+func (p *workerPool) close() {
+	p.drain()
+	close(p.tasks)
+	p.done.Wait()
+}

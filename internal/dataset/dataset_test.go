@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"testing"
+
+	"dualsim/internal/graph"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	specs := Registry()
+	if len(specs) != 8 {
+		t.Fatalf("registry has %d datasets, want 8", len(specs))
+	}
+	want := []string{"WG", "WT", "UP", "LJ", "OK", "WP", "FR", "YH"}
+	for i, s := range specs {
+		if s.Name != want[i] {
+			t.Errorf("spec %d = %s, want %s", i, s.Name, want[i])
+		}
+		if s.PaperVertices == 0 || s.PaperEdges == 0 {
+			t.Errorf("%s: paper statistics missing", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"WG", "wg", "WebGoogle", "yahoo", "YH"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if got := len(Names()); got != 8 {
+		t.Errorf("Names() = %d entries", got)
+	}
+}
+
+func TestGenerateSmallScale(t *testing.T) {
+	for _, s := range Registry() {
+		g := s.Generate(0.05)
+		if g.NumVertices() < 16 {
+			t.Errorf("%s: %d vertices at small scale", s.Name, g.NumVertices())
+		}
+		if g.NumEdges() == 0 {
+			t.Errorf("%s: no edges", s.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, s := range Registry() {
+		a := s.Generate(0.05)
+		b := s.Generate(0.05)
+		if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+			t.Errorf("%s: non-deterministic", s.Name)
+		}
+	}
+}
+
+func TestScaleGrows(t *testing.T) {
+	for _, s := range Registry() {
+		small := s.Generate(0.05)
+		big := s.Generate(0.2)
+		if big.NumEdges() <= small.NumEdges() {
+			t.Errorf("%s: scale 0.2 (%d edges) not larger than 0.05 (%d)",
+				s.Name, big.NumEdges(), small.NumEdges())
+		}
+	}
+}
+
+func TestWikipediaStandInIsBipartite(t *testing.T) {
+	wp, err := ByName("WP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := wp.Generate(0.05)
+	if got := graph.CountOccurrences(g, graph.Triangle()); got != 0 {
+		t.Errorf("WP stand-in has %d triangles, must be bipartite", got)
+	}
+}
+
+func TestRelativeSizes(t *testing.T) {
+	// YH must be the largest stand-in, echoing the paper's Table 1.
+	var yh, wt int
+	for _, s := range Registry() {
+		g := s.Generate(0.1)
+		switch s.Name {
+		case "YH":
+			yh = g.NumEdges()
+		case "WT":
+			wt = g.NumEdges()
+		}
+	}
+	if yh <= wt {
+		t.Errorf("YH (%d edges) should exceed WT (%d)", yh, wt)
+	}
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Experiment names one regenerable table or figure.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(*Env) (*Table, error)
+}
+
+// Experiments lists every table and figure in evaluation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table3", "preprocessing time per dataset", Table3Preprocessing},
+		{"table4", "actual intermediate results of TTJ/PSgL", Table4Intermediate},
+		{"table5", "estimated intermediate results ([20],[24] models)", Table5Estimated},
+		{"table6", "preparation-step time per query", Table6Preparation},
+		{"fig9", "elapsed time vs buffer size", Fig9BufferSize},
+		{"fig10", "single machine vs TTJ across datasets", Fig10SingleMachineDatasets},
+		{"fig11", "single machine, queries q1-q5", Fig11SingleMachineQueries},
+		{"fig12", "single machine, graph-size scaling", Fig12GraphSize},
+		{"fig13", "one machine vs cluster across datasets", Fig13Cluster},
+		{"fig14", "cluster, queries q1-q5", Fig14ClusterQueries},
+		{"fig15", "cluster, graph-size scaling (q1,q4)", Fig15ClusterGraphSize},
+		{"fig16", "thread speed-up", Fig16Speedup},
+		{"fig17", "DUALSIM vs OPT triangulation", Fig17VsOPT},
+		{"fig18", "cluster, graph-size scaling (q2,q3)", Fig18ClusterQ2Q3},
+		{"evolving", "evolving-graph degradation", TableEvolving},
+		{"failures", "failure boundary under proportional worker memory", TableFailureBoundary},
+		{"costmodel", "Equation 1 predicted vs measured reads", TableCostModel},
+	}
+}
+
+// ByName returns the experiment with the given name (case-insensitive),
+// or an error listing the valid names.
+func ByName(name string) (Experiment, error) {
+	for _, x := range Experiments() {
+		if strings.EqualFold(x.Name, name) {
+			return x, nil
+		}
+	}
+	var names []string
+	for _, x := range Experiments() {
+		names = append(names, x.Name)
+	}
+	sort.Strings(names)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (want one of %s)", name, strings.Join(names, ", "))
+}
+
+// RunAll executes every experiment against one shared environment,
+// printing each table to w as it completes.
+func RunAll(cfg Config, w io.Writer) error {
+	env := NewEnv(cfg)
+	defer env.Close()
+	for _, x := range Experiments() {
+		fmt.Fprintf(env.Cfg.Out, "running %s (%s)...\n", x.Name, x.Desc)
+		t, err := x.Run(env)
+		if err != nil {
+			return fmt.Errorf("exp: %s: %w", x.Name, err)
+		}
+		t.Fprint(w)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dualsim/internal/graph"
+)
+
+// tinyEnv keeps experiment tests fast: minuscule datasets, small cluster.
+func tinyEnv(t *testing.T) *Env {
+	t.Helper()
+	env := NewEnv(Config{
+		Scale:          0.02,
+		TempDir:        t.TempDir(),
+		Threads:        2,
+		ClusterWorkers: 4,
+		PageSize:       512,
+	})
+	t.Cleanup(env.Close)
+	return env
+}
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("1", "2")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"T — demo", "a", "bb", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	env := tinyEnv(t)
+	tbl, err := Table3Preprocessing(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tbl.Rows))
+	}
+}
+
+func TestTable6(t *testing.T) {
+	env := tinyEnv(t)
+	tbl, err := Table6Preparation(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tbl.Rows))
+	}
+}
+
+func TestFig17(t *testing.T) {
+	env := tinyEnv(t)
+	tbl, err := Fig17VsOPT(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+}
+
+func TestFig10CrossChecksCounts(t *testing.T) {
+	// Fig10 verifies DUALSIM count == TTJ count internally; run it on two
+	// datasets only by reusing the helper on a trimmed environment.
+	env := tinyEnv(t)
+	g, err := env.Graph("WG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := env.DualSim("WG", graph.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, _, err := env.TTJSingle(g, graph.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != ds.Count {
+		t.Fatalf("TTJ %d != DUALSIM %d", cnt, ds.Count)
+	}
+	pcnt, _, err := env.PSgLCluster(g, graph.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcnt != ds.Count {
+		t.Fatalf("PSgL %d != DUALSIM %d", pcnt, ds.Count)
+	}
+}
+
+func TestEstimators(t *testing.T) {
+	env := tinyEnv(t)
+	g, err := env.Graph("LJ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateTTJIntermediate(g, graph.Clique4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= 0 {
+		t.Errorf("TTJ estimate = %f", est)
+	}
+	p1 := EstimatePSgLIntermediate(g, graph.Triangle())
+	p4 := EstimatePSgLIntermediate(g, graph.Clique4())
+	if p4 <= p1 {
+		t.Errorf("PSgL estimate should grow with query size: q1=%f q4=%f", p1, p4)
+	}
+}
+
+func TestByNameAndExperimentList(t *testing.T) {
+	if len(Experiments()) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(Experiments()))
+	}
+	if _, err := ByName("fig9"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("FIG9"); err != nil {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestEvolving(t *testing.T) {
+	env := tinyEnv(t)
+	tbl, err := TableEvolving(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtCount(1234567); got != "1,234,567" {
+		t.Errorf("fmtCount = %q", got)
+	}
+	if got := fmtCount(42); got != "42" {
+		t.Errorf("fmtCount = %q", got)
+	}
+	if got := fmtRatio(10, 0); got != "n/a" {
+		t.Errorf("fmtRatio = %q", got)
+	}
+	if got := fmtRatio(10, 4); got != "2.50x" {
+		t.Errorf("fmtRatio = %q", got)
+	}
+}
+
+func TestCostModelExperiment(t *testing.T) {
+	env := tinyEnv(t)
+	tbl, err := TableCostModel(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		var ratio float64
+		if _, err := fmt.Sscanf(row[len(row)-1], "%f", &ratio); err != nil {
+			t.Fatalf("bad ratio cell in %v", row)
+		}
+		if ratio <= 0.01 || ratio >= 50 {
+			t.Errorf("model wildly off (%v): %v", ratio, row)
+		}
+	}
+}
+
+func TestFailureBoundaryExperiment(t *testing.T) {
+	env := tinyEnv(t)
+	tbl, err := TableFailureBoundary(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(tbl.Rows))
+	}
+	// DUALSIM column never fails; wrong counts are flagged in-row.
+	for _, row := range tbl.Rows {
+		for _, cell := range row {
+			if cell == "WRONG COUNT" {
+				t.Errorf("count mismatch in %v", row)
+			}
+		}
+	}
+}
+
+func TestFig9Experiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9 runs 20 engine configurations")
+	}
+	env := tinyEnv(t)
+	tbl, err := Fig9BufferSize(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,124 @@
+package gen
+
+import (
+	"testing"
+
+	"dualsim/internal/graph"
+)
+
+func TestDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() *graph.Graph
+	}{
+		{"er", func() *graph.Graph { return ErdosRenyi(200, 600, 1) }},
+		{"cl", func() *graph.Graph { return ChungLu(200, 800, 2.2, 2) }},
+		{"ba", func() *graph.Graph { return BarabasiAlbert(200, 4, 3) }},
+		{"rmat", func() *graph.Graph { return RMAT(8, 700, 0.57, 0.19, 0.19, 4) }},
+		{"bip", func() *graph.Graph { return Bipartite(100, 120, 500, 5) }},
+	}
+	for _, c := range cases {
+		a, b := c.gen(), c.gen()
+		if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+			t.Errorf("%s: non-deterministic size", c.name)
+			continue
+		}
+		for v := 0; v < a.NumVertices(); v++ {
+			av, bv := a.Adj(graph.VertexID(v)), b.Adj(graph.VertexID(v))
+			if len(av) != len(bv) {
+				t.Errorf("%s: adjacency differs at %d", c.name, v)
+				break
+			}
+		}
+	}
+}
+
+func TestErdosRenyiSize(t *testing.T) {
+	g := ErdosRenyi(500, 2000, 7)
+	if g.NumVertices() != 500 {
+		t.Errorf("vertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() < 1800 || g.NumEdges() > 2000 {
+		t.Errorf("edges = %d, want ~2000", g.NumEdges())
+	}
+}
+
+func TestChungLuSkew(t *testing.T) {
+	g := ChungLu(1000, 5000, 2.1, 8)
+	max := g.MaxDegree()
+	avg := 2 * g.NumEdges() / g.NumVertices()
+	if max < 5*avg {
+		t.Errorf("expected heavy skew: max=%d avg=%d", max, avg)
+	}
+}
+
+func TestBarabasiAlbertProperties(t *testing.T) {
+	g := BarabasiAlbert(500, 5, 9)
+	if g.NumVertices() != 500 {
+		t.Errorf("vertices = %d", g.NumVertices())
+	}
+	// Every post-seed vertex attaches k edges; minimum degree >= k.
+	minDeg := g.NumVertices()
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(graph.VertexID(v)); d < minDeg {
+			minDeg = d
+		}
+	}
+	if minDeg < 5 {
+		t.Errorf("min degree = %d, want >= 5", minDeg)
+	}
+	if g.MaxDegree() < 3*5 {
+		t.Errorf("hub expected: max degree = %d", g.MaxDegree())
+	}
+}
+
+func TestRMATSize(t *testing.T) {
+	g := RMAT(10, 4000, 0.57, 0.19, 0.19, 10)
+	if g.NumVertices() != 1024 {
+		t.Errorf("vertices = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() == 0 {
+		t.Error("no edges")
+	}
+}
+
+func TestBipartiteHasNoTriangles(t *testing.T) {
+	g := Bipartite(80, 90, 1200, 11)
+	if got := graph.CountOccurrences(g, graph.Triangle()); got != 0 {
+		t.Errorf("triangles in bipartite graph = %d", got)
+	}
+	if got := graph.CountOccurrences(g, graph.Square()); got == 0 {
+		t.Errorf("expected squares in a dense bipartite graph")
+	}
+}
+
+func TestSampleVertices(t *testing.T) {
+	g := ErdosRenyi(1000, 5000, 12)
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		s := SampleVertices(g, frac, 13)
+		ratio := float64(s.NumVertices()) / float64(g.NumVertices())
+		if ratio < frac-0.1 || ratio > frac+0.1 {
+			t.Errorf("frac %.1f: sampled ratio %.2f", frac, ratio)
+		}
+		if s.NumEdges() >= g.NumEdges() {
+			t.Errorf("frac %.1f: edges did not shrink", frac)
+		}
+	}
+	if s := SampleVertices(g, 1.0, 13); s != g {
+		t.Error("frac 1.0 should return the graph itself")
+	}
+	// Monotone edge counts across fractions (roughly quadratic shrink).
+	e20 := SampleVertices(g, 0.2, 14).NumEdges()
+	e80 := SampleVertices(g, 0.8, 14).NumEdges()
+	if e20 >= e80 {
+		t.Errorf("sampling not monotone: 20%%=%d 80%%=%d", e20, e80)
+	}
+}
+
+func TestSampleTinyFraction(t *testing.T) {
+	g := ErdosRenyi(50, 100, 15)
+	s := SampleVertices(g, 0.001, 16)
+	if s.NumVertices() < 1 {
+		t.Error("empty sample should degrade to a single vertex")
+	}
+}

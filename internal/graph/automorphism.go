@@ -1,0 +1,133 @@
+package graph
+
+// Automorphisms returns every automorphism of q as a permutation slice
+// (perm[i] = image of vertex i). The identity is always included. Query
+// graphs are tiny (|V_q| <= 16, in practice <= 6), so a pruned backtracking
+// search over permutations is more than fast enough.
+func Automorphisms(q *Query) [][]int {
+	n := q.NumVertices()
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var out [][]int
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		deg[i] = q.Degree(i)
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			cp := make([]int, n)
+			copy(cp, perm)
+			out = append(out, cp)
+			return
+		}
+		for img := 0; img < n; img++ {
+			if used[img] || deg[img] != deg[i] {
+				continue
+			}
+			ok := true
+			for j := 0; j < i; j++ {
+				if q.HasEdge(i, j) != q.HasEdge(img, perm[j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			perm[i] = img
+			used[img] = true
+			rec(i + 1)
+			used[img] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+// PartialOrder is a symmetry-breaking constraint: in every reported
+// embedding m, the data vertex m(Lo) must precede m(Hi) in the total order
+// (i.e. have a smaller ID after degree reordering).
+type PartialOrder struct {
+	Lo, Hi int
+}
+
+// SymmetryBreak computes a set of partial orders that breaks all
+// automorphisms of q, following the standard orbit-fixing construction of
+// Grochow & Kellis [12] also used by PSgL and TwinTwigJoin: repeatedly pick
+// the vertex with the largest orbit under the remaining automorphism group,
+// constrain it below every other member of its orbit, and restrict the group
+// to the stabilizer of that vertex. With the returned constraints every
+// unordered occurrence of q is reported exactly once.
+func SymmetryBreak(q *Query) []PartialOrder {
+	auts := Automorphisms(q)
+	var po []PartialOrder
+	for len(auts) > 1 {
+		// Compute orbits under the remaining group.
+		n := q.NumVertices()
+		orbit := make([]map[int]bool, n)
+		for i := 0; i < n; i++ {
+			orbit[i] = map[int]bool{}
+		}
+		for _, a := range auts {
+			for i := 0; i < n; i++ {
+				orbit[i][a[i]] = true
+			}
+		}
+		// Pick the anchor: smallest vertex among those with the largest orbit.
+		best, bestSize := -1, 1
+		for i := 0; i < n; i++ {
+			if len(orbit[i]) > bestSize {
+				best, bestSize = i, len(orbit[i])
+			}
+		}
+		if best < 0 {
+			break // all orbits trivial yet |Aut|>1: cannot happen for simple graphs
+		}
+		for w := range orbit[best] {
+			if w != best {
+				po = append(po, PartialOrder{Lo: best, Hi: w})
+			}
+		}
+		// Stabilizer of the anchor.
+		var next [][]int
+		for _, a := range auts {
+			if a[best] == best {
+				next = append(next, a)
+			}
+		}
+		auts = next
+	}
+	sortPartialOrders(po)
+	return po
+}
+
+func sortPartialOrders(po []PartialOrder) {
+	for i := 1; i < len(po); i++ {
+		for j := i; j > 0 && lessPO(po[j], po[j-1]); j-- {
+			po[j], po[j-1] = po[j-1], po[j]
+		}
+	}
+}
+
+func lessPO(a, b PartialOrder) bool {
+	if a.Lo != b.Lo {
+		return a.Lo < b.Lo
+	}
+	return a.Hi < b.Hi
+}
+
+// POAllows reports whether assigning data vertices da to query vertex qa and
+// db to qb is consistent with the partial-order set. Pairs not covered by
+// any constraint are always allowed.
+func POAllows(po []PartialOrder, qa int, da VertexID, qb int, db VertexID) bool {
+	for _, c := range po {
+		if c.Lo == qa && c.Hi == qb && !(da < db) {
+			return false
+		}
+		if c.Lo == qb && c.Hi == qa && !(db < da) {
+			return false
+		}
+	}
+	return true
+}

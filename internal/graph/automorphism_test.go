@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAutomorphismCounts(t *testing.T) {
+	cases := []struct {
+		q    *Query
+		want int
+	}{
+		{Triangle(), 6},        // S3
+		{Square(), 8},          // dihedral D4
+		{ChordalSquare(), 4},   // swap chord endpoints x swap the others
+		{Clique4(), 24},        // S4
+		{House(), 2},           // mirror symmetry only
+		{Path("p3", 3), 2},     // reverse
+		{Star("s3", 3), 6},     // S3 on leaves
+		{Cycle("c5", 5), 10},   // dihedral D5
+		{Clique("k5", 5), 120}, // S5
+	}
+	for _, c := range cases {
+		got := len(Automorphisms(c.q))
+		if got != c.want {
+			t.Errorf("%s: |Aut| = %d, want %d", c.q.Name(), got, c.want)
+		}
+	}
+}
+
+func TestAutomorphismsAreValid(t *testing.T) {
+	for _, q := range PaperQueries() {
+		for _, a := range Automorphisms(q) {
+			seen := map[int]bool{}
+			for _, img := range a {
+				if seen[img] {
+					t.Fatalf("%s: %v not a permutation", q.Name(), a)
+				}
+				seen[img] = true
+			}
+			for i := 0; i < q.NumVertices(); i++ {
+				for j := i + 1; j < q.NumVertices(); j++ {
+					if q.HasEdge(i, j) != q.HasEdge(a[i], a[j]) {
+						t.Fatalf("%s: %v does not preserve adjacency", q.Name(), a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSymmetryBreakIdentityOnly(t *testing.T) {
+	// After applying PO, only the identity automorphism maps constraint-
+	// respecting assignments to constraint-respecting assignments... the
+	// cheap verifiable property: embeddings(noPO) = |Aut| * embeddings(PO)
+	// on arbitrary graphs. Tested exhaustively over random graphs.
+	rng := rand.New(rand.NewSource(42))
+	queries := append(PaperQueries(), Path("p4", 4), Star("s3", 3), Cycle("c5", 5))
+	for trial := 0; trial < 15; trial++ {
+		g := randomGraph(rng, 20, 45)
+		for _, q := range queries {
+			po := SymmetryBreak(q)
+			raw := BruteForceCount(g, q, nil)
+			dedup := BruteForceCount(g, q, po)
+			aut := uint64(len(Automorphisms(q)))
+			if raw != dedup*aut {
+				t.Fatalf("trial %d %s: raw=%d dedup=%d |Aut|=%d (want raw = dedup*|Aut|)",
+					trial, q.Name(), raw, dedup, aut)
+			}
+		}
+	}
+}
+
+func TestSymmetryBreakTriangle(t *testing.T) {
+	po := SymmetryBreak(Triangle())
+	// Triangle needs a full order over its three vertices: at least 2
+	// constraints whose transitive closure orders all pairs.
+	if len(po) < 2 {
+		t.Fatalf("triangle PO too small: %v", po)
+	}
+	g := MustNewGraph(3, [][2]VertexID{{0, 1}, {1, 2}, {0, 2}})
+	if got := BruteForceCount(g, Triangle(), po); got != 1 {
+		t.Fatalf("triangle in K3 counted %d times, want 1", got)
+	}
+}
+
+func TestPOAllows(t *testing.T) {
+	po := []PartialOrder{{Lo: 0, Hi: 1}}
+	if !POAllows(po, 0, 3, 1, 5) {
+		t.Errorf("3<5 should satisfy 0<1")
+	}
+	if POAllows(po, 0, 5, 1, 3) {
+		t.Errorf("5<3 violates 0<1")
+	}
+	if !POAllows(po, 2, 9, 3, 1) {
+		t.Errorf("unconstrained pair must be allowed")
+	}
+	// Reverse argument order.
+	if POAllows(po, 1, 3, 0, 5) {
+		t.Errorf("(qb,qa) ordering should still enforce the constraint")
+	}
+}

@@ -1,0 +1,147 @@
+package graph
+
+// BruteForceCount counts embeddings of q in g subject to the partial orders
+// po, using a straightforward in-memory backtracking search. It is the
+// reference implementation every other enumerator in this repository is
+// validated against. Pass po == nil to count raw (unordered) embeddings,
+// i.e. all injections preserving edges; with po = SymmetryBreak(q) each
+// occurrence is counted exactly once.
+func BruteForceCount(g *Graph, q *Query, po []PartialOrder) uint64 {
+	var count uint64
+	BruteForceEnumerate(g, q, po, func([]VertexID) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// BruteForceEnumerate invokes fn for every embedding of q in g subject to
+// po. The slice passed to fn maps query vertex i to fn-arg[i]; it is reused
+// between calls and must be copied if retained. fn returns false to stop the
+// enumeration early.
+func BruteForceEnumerate(g *Graph, q *Query, po []PartialOrder, fn func(m []VertexID) bool) {
+	n := q.NumVertices()
+	order := connectedOrder(q)
+	m := make([]VertexID, n)
+	matched := make([]bool, n)
+	used := make(map[VertexID]bool, n)
+	stopped := false
+
+	var rec func(step int)
+	rec = func(step int) {
+		if stopped {
+			return
+		}
+		if step == n {
+			if !fn(m) {
+				stopped = true
+			}
+			return
+		}
+		u := order[step]
+		cands := candidateSet(g, q, u, m, matched)
+		for _, v := range cands {
+			if used[v] {
+				continue
+			}
+			if !checkAssignment(g, q, po, u, v, m, matched) {
+				continue
+			}
+			m[u] = v
+			matched[u] = true
+			used[v] = true
+			rec(step + 1)
+			matched[u] = false
+			delete(used, v)
+			if stopped {
+				return
+			}
+		}
+	}
+	rec(0)
+}
+
+// connectedOrder returns a matching order over query vertices in which every
+// vertex after the first is adjacent to at least one earlier vertex,
+// preferring high-degree vertices to shrink candidate sets early.
+func connectedOrder(q *Query) []int {
+	n := q.NumVertices()
+	order := make([]int, 0, n)
+	inOrder := uint32(0)
+	// Start at the max-degree vertex.
+	start := 0
+	for i := 1; i < n; i++ {
+		if q.Degree(i) > q.Degree(start) {
+			start = i
+		}
+	}
+	order = append(order, start)
+	inOrder |= 1 << uint(start)
+	for len(order) < n {
+		best, bestDeg := -1, -1
+		for i := 0; i < n; i++ {
+			if inOrder&(1<<uint(i)) != 0 {
+				continue
+			}
+			if q.AdjMask(i)&inOrder == 0 {
+				continue // not yet connected; queries are connected so one always is
+			}
+			if d := q.Degree(i); d > bestDeg {
+				best, bestDeg = i, d
+			}
+		}
+		order = append(order, best)
+		inOrder |= 1 << uint(best)
+	}
+	return order
+}
+
+// candidateSet returns candidate data vertices for query vertex u given the
+// current partial mapping: the adjacency list of a matched neighbor with the
+// smallest degree, or every vertex when no neighbor is matched yet (only the
+// first step).
+func candidateSet(g *Graph, q *Query, u int, m []VertexID, matched []bool) []VertexID {
+	bestLen := -1
+	var best []VertexID
+	for _, w := range q.Neighbors(u) {
+		if !matched[w] {
+			continue
+		}
+		adj := g.Adj(m[w])
+		if bestLen < 0 || len(adj) < bestLen {
+			bestLen = len(adj)
+			best = adj
+		}
+	}
+	if bestLen >= 0 {
+		return best
+	}
+	all := make([]VertexID, g.NumVertices())
+	for i := range all {
+		all[i] = VertexID(i)
+	}
+	return all
+}
+
+func checkAssignment(g *Graph, q *Query, po []PartialOrder, u int, v VertexID, m []VertexID, matched []bool) bool {
+	for _, w := range q.Neighbors(u) {
+		if matched[w] && !g.HasEdge(v, m[w]) {
+			return false
+		}
+	}
+	for _, c := range po {
+		if c.Lo == u && matched[c.Hi] && !(v < m[c.Hi]) {
+			return false
+		}
+		if c.Hi == u && matched[c.Lo] && !(m[c.Lo] < v) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountOccurrences counts occurrences of q in g exactly once per occurrence
+// by applying symmetry breaking internally.
+func CountOccurrences(g *Graph, q *Query) uint64 {
+	return BruteForceCount(g, q, SymmetryBreak(q))
+}

@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// binom computes the binomial coefficient C(n, k).
+func binom(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := uint64(1)
+	for i := 0; i < k; i++ {
+		r = r * uint64(n-i) / uint64(i+1)
+	}
+	return r
+}
+
+func completeGraph(n int) *Graph {
+	var edges [][2]VertexID
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]VertexID{VertexID(i), VertexID(j)})
+		}
+	}
+	return MustNewGraph(n, edges)
+}
+
+func cycleGraph(n int) *Graph {
+	var edges [][2]VertexID
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]VertexID{VertexID(i), VertexID((i + 1) % n)})
+	}
+	return MustNewGraph(n, edges)
+}
+
+func completeBipartite(a, b int) *Graph {
+	var edges [][2]VertexID
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			edges = append(edges, [2]VertexID{VertexID(i), VertexID(a + j)})
+		}
+	}
+	return MustNewGraph(a+b, edges)
+}
+
+func TestClosedFormTriangles(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		g := completeGraph(n)
+		want := binom(n, 3)
+		if got := CountOccurrences(g, Triangle()); got != want {
+			t.Errorf("triangles in K%d = %d, want %d", n, got, want)
+		}
+	}
+	// Bipartite graphs have no triangles.
+	if got := CountOccurrences(completeBipartite(4, 5), Triangle()); got != 0 {
+		t.Errorf("triangles in K4,5 = %d, want 0", got)
+	}
+}
+
+func TestClosedFormCliques(t *testing.T) {
+	for n := 4; n <= 8; n++ {
+		g := completeGraph(n)
+		if got, want := CountOccurrences(g, Clique4()), binom(n, 4); got != want {
+			t.Errorf("K4s in K%d = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestClosedFormSquares(t *testing.T) {
+	// C4 count in K_n: choose 4 vertices, 3 distinct 4-cycles each.
+	for n := 4; n <= 8; n++ {
+		want := binom(n, 4) * 3
+		if got := CountOccurrences(completeGraph(n), Square()); got != want {
+			t.Errorf("C4s in K%d = %d, want %d", n, got, want)
+		}
+	}
+	// C4 count in K_{a,b}: C(a,2)*C(b,2).
+	for _, ab := range [][2]int{{2, 2}, {3, 4}, {4, 5}} {
+		a, b := ab[0], ab[1]
+		want := binom(a, 2) * binom(b, 2)
+		if got := CountOccurrences(completeBipartite(a, b), Square()); got != want {
+			t.Errorf("C4s in K%d,%d = %d, want %d", a, b, got, want)
+		}
+	}
+	// A 6-cycle has no C4.
+	if got := CountOccurrences(cycleGraph(6), Square()); got != 0 {
+		t.Errorf("C4s in C6 = %d, want 0", got)
+	}
+	if got := CountOccurrences(cycleGraph(4), Square()); got != 1 {
+		t.Errorf("C4s in C4 = %d, want 1", got)
+	}
+}
+
+func TestClosedFormHouse(t *testing.T) {
+	// The house graph contains itself exactly once.
+	house := MustNewGraph(5, [][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}, {1, 4}})
+	if got := CountOccurrences(house, House()); got != 1 {
+		t.Errorf("houses in house = %d, want 1", got)
+	}
+	// Bipartite graphs contain no house (it has a triangle... it does not!
+	// house = C4 + roof triangle 0-1-4, which is a triangle, so bipartite=0).
+	if got := CountOccurrences(completeBipartite(4, 4), House()); got != 0 {
+		t.Errorf("houses in K4,4 = %d, want 0", got)
+	}
+}
+
+func TestChordalSquareInK4(t *testing.T) {
+	// Diamonds in K_n: choose 4 vertices, each 4-set of K4 contains 6
+	// diamonds (pick the non-chord pair: C(4,2)=6... the diamond has one
+	// missing edge; K4 restricted to 4 vertices: number of diamonds = number
+	// of ways to designate the missing edge = 6, but the diamond's own
+	// occurrences in K4 as subgraph: 6).
+	want := binom(4, 2) // 6 diamonds in K4
+	if got := CountOccurrences(completeGraph(4), ChordalSquare()); got != want {
+		t.Errorf("diamonds in K4 = %d, want %d", got, want)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	g := completeGraph(8)
+	calls := 0
+	BruteForceEnumerate(g, Triangle(), SymmetryBreak(Triangle()), func(m []VertexID) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Errorf("early stop after %d calls, want 5", calls)
+	}
+}
+
+func TestEnumerateEmbeddingsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 25, 70)
+	for _, q := range PaperQueries() {
+		po := SymmetryBreak(q)
+		BruteForceEnumerate(g, q, po, func(m []VertexID) bool {
+			// Injectivity.
+			seen := map[VertexID]bool{}
+			for _, v := range m {
+				if seen[v] {
+					t.Fatalf("%s: mapping %v not injective", q.Name(), m)
+				}
+				seen[v] = true
+			}
+			// Edge preservation.
+			for _, e := range q.Edges() {
+				if !g.HasEdge(m[e[0]], m[e[1]]) {
+					t.Fatalf("%s: edge %v not preserved by %v", q.Name(), e, m)
+				}
+			}
+			// Partial orders.
+			for _, c := range po {
+				if !(m[c.Lo] < m[c.Hi]) {
+					t.Fatalf("%s: PO %v violated by %v", q.Name(), c, m)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestConnectedOrderIsConnected(t *testing.T) {
+	for _, q := range append(PaperQueries(), Path("p5", 5), Star("s4", 4)) {
+		order := connectedOrder(q)
+		if len(order) != q.NumVertices() {
+			t.Fatalf("%s: order %v wrong length", q.Name(), order)
+		}
+		placed := uint32(1) << uint(order[0])
+		for _, u := range order[1:] {
+			if q.AdjMask(u)&placed == 0 {
+				t.Fatalf("%s: vertex %d not connected to prefix in %v", q.Name(), u, order)
+			}
+			placed |= 1 << uint(u)
+		}
+	}
+}
+
+func BenchmarkBruteForceTriangle(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 500, 3000)
+	po := SymmetryBreak(Triangle())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForceCount(g, Triangle(), po)
+	}
+}

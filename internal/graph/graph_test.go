@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGraphBasic(t *testing.T) {
+	g := MustNewGraph(4, [][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	if got := g.NumVertices(); got != 4 {
+		t.Fatalf("NumVertices = %d, want 4", got)
+	}
+	if got := g.NumEdges(); got != 5 {
+		t.Fatalf("NumEdges = %d, want 5", got)
+	}
+	if got := g.Degree(0); got != 3 {
+		t.Fatalf("Degree(0) = %d, want 3", got)
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Fatalf("edge (0,2) missing")
+	}
+	if g.HasEdge(1, 3) {
+		t.Fatalf("edge (1,3) should not exist")
+	}
+}
+
+func TestNewGraphDedupAndSelfLoops(t *testing.T) {
+	g := MustNewGraph(3, [][2]VertexID{{0, 1}, {1, 0}, {0, 1}, {1, 1}, {2, 2}, {1, 2}})
+	if got := g.NumEdges(); got != 2 {
+		t.Fatalf("NumEdges = %d, want 2 (dedup + self-loop removal)", got)
+	}
+	if got := g.Degree(1); got != 2 {
+		t.Fatalf("Degree(1) = %d, want 2", got)
+	}
+	if g.HasEdge(1, 1) {
+		t.Fatalf("self loop survived")
+	}
+}
+
+func TestNewGraphOutOfRange(t *testing.T) {
+	if _, err := NewGraph(2, [][2]VertexID{{0, 2}}); err == nil {
+		t.Fatalf("expected out-of-range error")
+	}
+	if _, err := NewGraph(-1, nil); err == nil {
+		t.Fatalf("expected negative-count error")
+	}
+}
+
+func TestAdjSorted(t *testing.T) {
+	g := MustNewGraph(5, [][2]VertexID{{3, 0}, {3, 4}, {3, 1}, {3, 2}})
+	adj := g.Adj(3)
+	if !sort.SliceIsSorted(adj, func(i, j int) bool { return adj[i] < adj[j] }) {
+		t.Fatalf("adjacency not sorted: %v", adj)
+	}
+	want := []VertexID{0, 1, 2, 4}
+	if !reflect.DeepEqual(adj, want) {
+		t.Fatalf("Adj(3) = %v, want %v", adj, want)
+	}
+}
+
+func TestEdgeList(t *testing.T) {
+	in := [][2]VertexID{{1, 0}, {2, 1}, {0, 2}}
+	g := MustNewGraph(3, in)
+	want := [][2]VertexID{{0, 1}, {0, 2}, {1, 2}}
+	if got := g.EdgeList(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("EdgeList = %v, want %v", got, want)
+	}
+}
+
+func TestTotalOrderLess(t *testing.T) {
+	// degrees: 0->1, 1->2, 2->1
+	g := MustNewGraph(3, [][2]VertexID{{0, 1}, {1, 2}})
+	if !g.Less(0, 1) {
+		t.Fatalf("deg(0)<deg(1): want 0 < 1")
+	}
+	if !g.Less(0, 2) {
+		t.Fatalf("equal degree: want id order 0 < 2")
+	}
+	if g.Less(1, 0) {
+		t.Fatalf("1 should not precede 0")
+	}
+}
+
+func TestReorderByDegree(t *testing.T) {
+	// Star: hub 0 with 3 leaves. After reorder the hub must be last.
+	g := MustNewGraph(4, [][2]VertexID{{0, 1}, {0, 2}, {0, 3}})
+	rg, perm := ReorderByDegree(g)
+	if !rg.IsDegreeOrdered() {
+		t.Fatalf("not degree-ordered after reorder")
+	}
+	if perm[0] != 3 {
+		t.Fatalf("hub should get highest new ID, got %d", perm[0])
+	}
+	if rg.NumEdges() != g.NumEdges() || rg.NumVertices() != g.NumVertices() {
+		t.Fatalf("reorder changed size")
+	}
+	// Degrees multiset preserved.
+	if rg.Degree(3) != 3 {
+		t.Fatalf("hub degree lost: %d", rg.Degree(3))
+	}
+}
+
+func TestReorderPreservesIsomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 30, 60)
+		rg, _ := ReorderByDegree(g)
+		for _, q := range PaperQueries() {
+			a := CountOccurrences(g, q)
+			b := CountOccurrences(rg, q)
+			if a != b {
+				t.Fatalf("trial %d query %s: count %d != %d after reorder", trial, q.Name(), a, b)
+			}
+		}
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	cases := []struct{ a, b, want []VertexID }{
+		{[]VertexID{1, 3, 5}, []VertexID{2, 3, 5, 7}, []VertexID{3, 5}},
+		{[]VertexID{}, []VertexID{1}, []VertexID{}},
+		{[]VertexID{1, 2, 3}, []VertexID{1, 2, 3}, []VertexID{1, 2, 3}},
+		{[]VertexID{1}, []VertexID{2}, []VertexID{}},
+	}
+	for i, c := range cases {
+		got := IntersectSorted(c.a, c.b, nil)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: got %v want %v", i, got, c.want)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: got %v want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+func TestIntersectSortedQuick(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		av := dedupVertices(a)
+		bv := dedupVertices(b)
+		got := IntersectSorted(av, bv, nil)
+		want := map[VertexID]bool{}
+		for _, x := range av {
+			for _, y := range bv {
+				if x == y {
+					want[x] = true
+				}
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, x := range got {
+			if !want[x] {
+				return false
+			}
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dedupVertices(in []uint16) []VertexID {
+	seen := map[VertexID]bool{}
+	var out []VertexID
+	for _, x := range in {
+		v := VertexID(x)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestContainsSorted(t *testing.T) {
+	a := []VertexID{1, 4, 9}
+	for _, v := range a {
+		if !ContainsSorted(a, v) {
+			t.Fatalf("ContainsSorted(%v, %d) = false", a, v)
+		}
+	}
+	for _, v := range []VertexID{0, 2, 10} {
+		if ContainsSorted(a, v) {
+			t.Fatalf("ContainsSorted(%v, %d) = true", a, v)
+		}
+	}
+}
+
+// randomGraph returns a random simple graph with n vertices and about m
+// edges (after dedup).
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	edges := make([][2]VertexID, 0, m)
+	for i := 0; i < m; i++ {
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		edges = append(edges, [2]VertexID{u, v})
+	}
+	return MustNewGraph(n, edges)
+}

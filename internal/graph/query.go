@@ -1,0 +1,282 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MaxQueryVertices bounds query size. The paper notes |V_q| is always very
+// small (the evaluation uses 3–5 vertices); 16 leaves generous headroom while
+// letting adjacency fit in one uint32 bitmask per vertex.
+const MaxQueryVertices = 16
+
+// Query is an undirected, unlabeled, connected query graph. Vertices are
+// 0..n-1. Adjacency is kept both as bitmasks (fast subset tests) and edge
+// lists (iteration).
+type Query struct {
+	name  string
+	n     int
+	adj   []uint32 // adj[i] bit j set iff edge (i,j)
+	edges [][2]int // each edge once, (lo, hi), sorted
+}
+
+// NewQuery builds a query graph from an edge list. The graph must be simple,
+// connected, and have 1..MaxQueryVertices vertices.
+func NewQuery(name string, n int, edgeList [][2]int) (*Query, error) {
+	if n < 1 || n > MaxQueryVertices {
+		return nil, fmt.Errorf("query %q: vertex count %d outside [1,%d]", name, n, MaxQueryVertices)
+	}
+	q := &Query{name: name, n: n, adj: make([]uint32, n)}
+	for _, e := range edgeList {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return nil, fmt.Errorf("query %q: edge (%d,%d) out of range [0,%d)", name, a, b, n)
+		}
+		if a == b {
+			return nil, fmt.Errorf("query %q: self-loop at %d", name, a)
+		}
+		if q.adj[a]&(1<<uint(b)) != 0 {
+			continue
+		}
+		q.adj[a] |= 1 << uint(b)
+		q.adj[b] |= 1 << uint(a)
+		if a > b {
+			a, b = b, a
+		}
+		q.edges = append(q.edges, [2]int{a, b})
+	}
+	sort.Slice(q.edges, func(i, j int) bool {
+		if q.edges[i][0] != q.edges[j][0] {
+			return q.edges[i][0] < q.edges[j][0]
+		}
+		return q.edges[i][1] < q.edges[j][1]
+	})
+	if !q.connected() {
+		return nil, fmt.Errorf("query %q: not connected", name)
+	}
+	return q, nil
+}
+
+// MustNewQuery is NewQuery that panics on error.
+func MustNewQuery(name string, n int, edgeList [][2]int) *Query {
+	q, err := NewQuery(name, n, edgeList)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (q *Query) connected() bool {
+	if q.n == 0 {
+		return false
+	}
+	var seen uint32 = 1
+	stack := []int{0}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for rest := q.adj[u] &^ seen; rest != 0; {
+			v := trailingZeros(rest)
+			rest &^= 1 << uint(v)
+			seen |= 1 << uint(v)
+			stack = append(stack, v)
+		}
+	}
+	return seen == (uint32(1)<<uint(q.n))-1
+}
+
+func trailingZeros(x uint32) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Name returns the query's display name.
+func (q *Query) Name() string { return q.name }
+
+// NumVertices returns the number of query vertices.
+func (q *Query) NumVertices() int { return q.n }
+
+// NumEdges returns the number of query edges.
+func (q *Query) NumEdges() int { return len(q.edges) }
+
+// HasEdge reports whether query vertices i and j are adjacent.
+func (q *Query) HasEdge(i, j int) bool { return q.adj[i]&(1<<uint(j)) != 0 }
+
+// AdjMask returns the adjacency bitmask of vertex i.
+func (q *Query) AdjMask(i int) uint32 { return q.adj[i] }
+
+// Degree returns the degree of query vertex i.
+func (q *Query) Degree(i int) int { return popcount(q.adj[i]) }
+
+// Neighbors returns the sorted neighbor list of query vertex i.
+func (q *Query) Neighbors(i int) []int {
+	out := make([]int, 0, q.Degree(i))
+	for rest := q.adj[i]; rest != 0; {
+		v := trailingZeros(rest)
+		rest &^= 1 << uint(v)
+		out = append(out, v)
+	}
+	return out
+}
+
+// Edges returns each undirected query edge once as (lo, hi) pairs.
+func (q *Query) Edges() [][2]int { return q.edges }
+
+func popcount(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// InducedConnected reports whether the subgraph induced by the vertex set
+// mask is connected (and non-empty).
+func (q *Query) InducedConnected(mask uint32) bool {
+	if mask == 0 {
+		return false
+	}
+	start := trailingZeros(mask)
+	seen := uint32(1) << uint(start)
+	stack := []int{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for rest := q.adj[u] & mask &^ seen; rest != 0; {
+			v := trailingZeros(rest)
+			rest &^= 1 << uint(v)
+			seen |= 1 << uint(v)
+			stack = append(stack, v)
+		}
+	}
+	return seen == mask
+}
+
+// IsVertexCover reports whether the vertex set mask covers every query edge.
+func (q *Query) IsVertexCover(mask uint32) bool {
+	for _, e := range q.edges {
+		if mask&(1<<uint(e[0])) == 0 && mask&(1<<uint(e[1])) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// InducedEdgeCount returns the number of query edges with both endpoints in
+// the vertex set mask.
+func (q *Query) InducedEdgeCount(mask uint32) int {
+	n := 0
+	for _, e := range q.edges {
+		if mask&(1<<uint(e[0])) != 0 && mask&(1<<uint(e[1])) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the query as name(n=..., edges=[...]).
+func (q *Query) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s(n=%d, edges=[", q.name, q.n)
+	for i, e := range q.edges {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d-%d", e[0], e[1])
+	}
+	sb.WriteString("])")
+	return sb.String()
+}
+
+// --- Query catalog -------------------------------------------------------
+//
+// q1..q5 follow Figure 8 (the query set shared with PSgL and TwinTwigJoin):
+// triangle, square, chordal square, 4-clique, and the 5-vertex house. The
+// house matches Figure 1/3(b): its MCVC has three (red) vertices and the two
+// remaining vertices are each adjacent to two red vertices (ivory).
+
+// Triangle returns q1: the 3-clique.
+func Triangle() *Query { return Clique("q1-triangle", 3) }
+
+// Square returns q2: the 4-cycle.
+func Square() *Query { return Cycle("q2-square", 4) }
+
+// ChordalSquare returns q3: the 4-cycle plus one chord (a.k.a. diamond).
+func ChordalSquare() *Query {
+	return MustNewQuery("q3-chordalsquare", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+}
+
+// Clique4 returns q4: the 4-clique.
+func Clique4() *Query { return Clique("q4-clique4", 4) }
+
+// House returns q5: the square {0,1,2,3} with roof vertex 4 adjacent to 0
+// and 1 — five vertices, six edges.
+func House() *Query {
+	return MustNewQuery("q5-house", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}, {1, 4}})
+}
+
+// Clique returns the k-clique.
+func Clique(name string, k int) *Query {
+	var edges [][2]int
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return MustNewQuery(name, k, edges)
+}
+
+// Cycle returns the k-cycle (k >= 3).
+func Cycle(name string, k int) *Query {
+	var edges [][2]int
+	for i := 0; i < k; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % k})
+	}
+	return MustNewQuery(name, k, edges)
+}
+
+// Path returns the path with k vertices (k-1 edges).
+func Path(name string, k int) *Query {
+	var edges [][2]int
+	for i := 0; i+1 < k; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return MustNewQuery(name, k, edges)
+}
+
+// Star returns the star with one hub and k leaves.
+func Star(name string, k int) *Query {
+	var edges [][2]int
+	for i := 1; i <= k; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return MustNewQuery(name, k+1, edges)
+}
+
+// PaperQueries returns q1..q5 in order.
+func PaperQueries() []*Query {
+	return []*Query{Triangle(), Square(), ChordalSquare(), Clique4(), House()}
+}
+
+// QueryByName resolves q1..q5 (and the long forms) to catalog queries.
+func QueryByName(name string) (*Query, error) {
+	switch strings.ToLower(name) {
+	case "q1", "triangle":
+		return Triangle(), nil
+	case "q2", "square":
+		return Square(), nil
+	case "q3", "chordalsquare", "diamond":
+		return ChordalSquare(), nil
+	case "q4", "clique4":
+		return Clique4(), nil
+	case "q5", "house":
+		return House(), nil
+	}
+	return nil, fmt.Errorf("graph: unknown query %q (want q1..q5)", name)
+}

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueryCatalogShapes(t *testing.T) {
+	cases := []struct {
+		q          *Query
+		wantV      int
+		wantE      int
+		wantDegSum int
+	}{
+		{Triangle(), 3, 3, 6},
+		{Square(), 4, 4, 8},
+		{ChordalSquare(), 4, 5, 10},
+		{Clique4(), 4, 6, 12},
+		{House(), 5, 6, 12},
+	}
+	for _, c := range cases {
+		if got := c.q.NumVertices(); got != c.wantV {
+			t.Errorf("%s: vertices = %d, want %d", c.q.Name(), got, c.wantV)
+		}
+		if got := c.q.NumEdges(); got != c.wantE {
+			t.Errorf("%s: edges = %d, want %d", c.q.Name(), got, c.wantE)
+		}
+		sum := 0
+		for i := 0; i < c.q.NumVertices(); i++ {
+			sum += c.q.Degree(i)
+		}
+		if sum != c.wantDegSum {
+			t.Errorf("%s: degree sum = %d, want %d", c.q.Name(), sum, c.wantDegSum)
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	if _, err := NewQuery("disconnected", 4, [][2]int{{0, 1}, {2, 3}}); err == nil {
+		t.Errorf("disconnected query accepted")
+	}
+	if _, err := NewQuery("selfloop", 2, [][2]int{{0, 0}, {0, 1}}); err == nil {
+		t.Errorf("self-loop accepted")
+	}
+	if _, err := NewQuery("oob", 2, [][2]int{{0, 2}}); err == nil {
+		t.Errorf("out-of-range edge accepted")
+	}
+	if _, err := NewQuery("toobig", MaxQueryVertices+1, nil); err == nil {
+		t.Errorf("oversized query accepted")
+	}
+	// Duplicate edges collapse.
+	q, err := NewQuery("dup", 2, [][2]int{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumEdges() != 1 {
+		t.Errorf("duplicate edge kept: %d edges", q.NumEdges())
+	}
+}
+
+func TestQueryNeighbors(t *testing.T) {
+	q := House()
+	nb := q.Neighbors(0)
+	want := []int{1, 3, 4}
+	if len(nb) != len(want) {
+		t.Fatalf("Neighbors(0) = %v, want %v", nb, want)
+	}
+	for i := range nb {
+		if nb[i] != want[i] {
+			t.Fatalf("Neighbors(0) = %v, want %v", nb, want)
+		}
+	}
+}
+
+func TestInducedConnected(t *testing.T) {
+	q := House()                      // square 0-1-2-3 plus roof 4 on 0,1
+	if !q.InducedConnected(0b00111) { // {0,1,2}
+		t.Errorf("{0,1,2} should be connected")
+	}
+	if q.InducedConnected(0b10100) { // {2,4} not adjacent
+		t.Errorf("{2,4} should be disconnected")
+	}
+	if q.InducedConnected(0) {
+		t.Errorf("empty set should not be connected")
+	}
+}
+
+func TestIsVertexCover(t *testing.T) {
+	q := House()
+	if !q.IsVertexCover(0b00111) { // {0,1,2}
+		t.Errorf("{0,1,2} is a cover")
+	}
+	if q.IsVertexCover(0b00011) { // {0,1} misses edge 2-3
+		t.Errorf("{0,1} is not a cover")
+	}
+	if !q.IsVertexCover(0b11111) {
+		t.Errorf("full set is a cover")
+	}
+}
+
+func TestInducedEdgeCount(t *testing.T) {
+	q := Clique4()
+	if got := q.InducedEdgeCount(0b0111); got != 3 {
+		t.Errorf("K4 induced {0,1,2} = %d edges, want 3", got)
+	}
+	if got := q.InducedEdgeCount(0b1111); got != 6 {
+		t.Errorf("K4 induced full = %d edges, want 6", got)
+	}
+}
+
+func TestQueryByName(t *testing.T) {
+	for _, name := range []string{"q1", "q2", "q3", "q4", "q5", "triangle", "house"} {
+		if _, err := QueryByName(name); err != nil {
+			t.Errorf("QueryByName(%q): %v", name, err)
+		}
+	}
+	if _, err := QueryByName("q9"); err == nil {
+		t.Errorf("unknown query accepted")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	s := Triangle().String()
+	if !strings.Contains(s, "q1-triangle") || !strings.Contains(s, "0-1") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestGenericShapes(t *testing.T) {
+	if got := Path("p5", 5).NumEdges(); got != 4 {
+		t.Errorf("path5 edges = %d", got)
+	}
+	if got := Star("s4", 4).NumEdges(); got != 4 {
+		t.Errorf("star4 edges = %d", got)
+	}
+	if got := Cycle("c6", 6).NumEdges(); got != 6 {
+		t.Errorf("cycle6 edges = %d", got)
+	}
+	if got := Clique("k5", 5).NumEdges(); got != 10 {
+		t.Errorf("k5 edges = %d", got)
+	}
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestReorderQuick property-tests degree reordering: the permutation is a
+// bijection, degrees become non-decreasing, and the graph stays isomorphic
+// (vertex/edge counts and degree multiset preserved).
+func TestReorderQuick(t *testing.T) {
+	f := func(seed int64, n8, m8 uint8) bool {
+		n := 2 + int(n8%60)
+		m := int(m8)
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([][2]VertexID, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, [2]VertexID{VertexID(rng.Intn(n)), VertexID(rng.Intn(n))})
+		}
+		g := MustNewGraph(n, edges)
+		rg, perm := ReorderByDegree(g)
+		// Bijection.
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if int(p) >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		if !rg.IsDegreeOrdered() {
+			return false
+		}
+		if rg.NumVertices() != g.NumVertices() || rg.NumEdges() != g.NumEdges() {
+			return false
+		}
+		// Degree preserved through the permutation.
+		for v := 0; v < n; v++ {
+			if g.Degree(VertexID(v)) != rg.Degree(perm[v]) {
+				return false
+			}
+		}
+		// Edges preserved through the permutation.
+		for _, e := range g.EdgeList() {
+			if !rg.HasEdge(perm[e[0]], perm[e[1]]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGraphConstructionQuick property-tests CSR construction: adjacency
+// symmetric, sorted, deduplicated, no self-loops, degree sum = 2|E|.
+func TestGraphConstructionQuick(t *testing.T) {
+	f := func(seed int64, n8, m8 uint8) bool {
+		n := 1 + int(n8%40)
+		m := int(m8)
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([][2]VertexID, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, [2]VertexID{VertexID(rng.Intn(n)), VertexID(rng.Intn(n))})
+		}
+		g := MustNewGraph(n, edges)
+		degSum := 0
+		for v := 0; v < n; v++ {
+			adj := g.Adj(VertexID(v))
+			degSum += len(adj)
+			for i, w := range adj {
+				if w == VertexID(v) {
+					return false // self-loop
+				}
+				if i > 0 && adj[i-1] >= w {
+					return false // unsorted or duplicate
+				}
+				if !g.HasEdge(w, VertexID(v)) {
+					return false // asymmetric
+				}
+			}
+		}
+		return degSum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSymmetryBreakQuick property-tests the central counting identity on
+// random query shapes: raw embeddings = |Aut(q)| x deduplicated embeddings.
+func TestSymmetryBreakQuick(t *testing.T) {
+	f := func(seed int64, qn8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		qn := 3 + int(qn8%3)
+		var qedges [][2]int
+		for v := 1; v < qn; v++ {
+			qedges = append(qedges, [2]int{rng.Intn(v), v})
+		}
+		for i := 0; i < rng.Intn(qn); i++ {
+			a, b := rng.Intn(qn), rng.Intn(qn)
+			if a != b {
+				qedges = append(qedges, [2]int{a, b})
+			}
+		}
+		q := MustNewQuery("rand", qn, qedges)
+		g := func() *Graph {
+			edges := make([][2]VertexID, 0, 60)
+			for i := 0; i < 60; i++ {
+				edges = append(edges, [2]VertexID{VertexID(rng.Intn(16)), VertexID(rng.Intn(16))})
+			}
+			return MustNewGraph(16, edges)
+		}()
+		po := SymmetryBreak(q)
+		raw := BruteForceCount(g, q, nil)
+		dedup := BruteForceCount(g, q, po)
+		return raw == dedup*uint64(len(Automorphisms(q)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,346 @@
+package mr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func wordCountJob() Job {
+	return Job{
+		Name: "wordcount",
+		Map: func(rec []byte, emit Emit) error {
+			for _, w := range strings.Fields(string(rec)) {
+				if err := emit([]byte(w), []byte{1}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit Emit) error {
+			n := 0
+			for _, v := range values {
+				n += int(v[0])
+			}
+			return emit(key, []byte(strconv.Itoa(n)))
+		},
+	}
+}
+
+func collect(t *testing.T, d *Dataset) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	err := d.Scan(func(rec []byte) error {
+		k, v, err := DecodeKV(rec)
+		if err != nil {
+			return err
+		}
+		out[string(k)] = string(v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestWordCount(t *testing.T) {
+	dir := t.TempDir()
+	input, err := CreateDataset(dir, "in", 3, [][]byte{
+		[]byte("a b a"), []byte("b c"), []byte("a"), []byte("c c c"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, counters, err := Run(Config{Workers: 4, TempDir: dir}, wordCountJob(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, out)
+	want := map[string]string{"a": "3", "b": "2", "c": "4"}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%s] = %s, want %s (all: %v)", k, got[k], v, got)
+		}
+	}
+	if counters.MapInput != 4 || counters.MapOutput != 9 || counters.ReduceOutput != 3 {
+		t.Errorf("counters: %+v", counters)
+	}
+}
+
+func TestSingleWorker(t *testing.T) {
+	dir := t.TempDir()
+	input, err := CreateDataset(dir, "in", 1, [][]byte{[]byte("x y x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Run(Config{Workers: 1, TempDir: dir}, wordCountJob(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, out)
+	if got["x"] != "2" || got["y"] != "1" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSpillPath(t *testing.T) {
+	dir := t.TempDir()
+	var records [][]byte
+	for i := 0; i < 500; i++ {
+		records = append(records, []byte(fmt.Sprintf("key%03d", i%50)))
+	}
+	input, err := CreateDataset(dir, "in", 2, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workers: 2, TempDir: dir, MemoryPerWorker: 256} // force spills
+	out, counters, err := Run(cfg, wordCountJob(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.SpilledBytes == 0 {
+		t.Error("expected spills with a 256-byte budget")
+	}
+	got := collect(t, out)
+	if len(got) != 50 {
+		t.Errorf("distinct keys = %d, want 50", len(got))
+	}
+	for k, v := range got {
+		if v != "10" {
+			t.Errorf("count[%s] = %s, want 10", k, v)
+		}
+	}
+}
+
+func TestFailOnOverflow(t *testing.T) {
+	dir := t.TempDir()
+	var records [][]byte
+	for i := 0; i < 200; i++ {
+		records = append(records, []byte("hot hot hot hot"))
+	}
+	input, err := CreateDataset(dir, "in", 1, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workers: 1, TempDir: dir, MemoryPerWorker: 128, FailOnOverflow: true}
+	_, _, err = Run(cfg, wordCountJob(), input)
+	if !errors.Is(err, ErrPartitionTooLarge) {
+		t.Fatalf("want ErrPartitionTooLarge, got %v", err)
+	}
+}
+
+func TestSpillBudgetExhausted(t *testing.T) {
+	dir := t.TempDir()
+	var records [][]byte
+	for i := 0; i < 2000; i++ {
+		records = append(records, []byte(fmt.Sprintf("key%04d filler filler", i)))
+	}
+	input, err := CreateDataset(dir, "in", 1, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workers: 1, TempDir: dir, MemoryPerWorker: 512, MaxSpillBytes: 2048}
+	_, _, err = Run(cfg, wordCountJob(), input)
+	if !errors.Is(err, ErrSpillExhausted) {
+		t.Fatalf("want ErrSpillExhausted, got %v", err)
+	}
+}
+
+func TestChainedJobs(t *testing.T) {
+	// Round 1: word count. Round 2: histogram of counts.
+	dir := t.TempDir()
+	input, err := CreateDataset(dir, "in", 2, [][]byte{
+		[]byte("a b"), []byte("a b"), []byte("a c"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, _, err := Run(Config{Workers: 2, TempDir: dir}, wordCountJob(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	histogram := Job{
+		Name: "histogram",
+		Map: func(rec []byte, emit Emit) error {
+			_, v, err := DecodeKV(rec)
+			if err != nil {
+				return err
+			}
+			return emit(v, []byte{1})
+		},
+		Reduce: func(key []byte, values [][]byte, emit Emit) error {
+			return emit(key, []byte(strconv.Itoa(len(values))))
+		},
+	}
+	out, _, err := Run(Config{Workers: 2, TempDir: dir}, histogram, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, out)
+	// a:3, b:2, c:1 -> one word with count 3, one with 2, one with 1.
+	if got["3"] != "1" || got["2"] != "1" || got["1"] != "1" {
+		t.Errorf("histogram = %v", got)
+	}
+}
+
+func TestMultipleInputs(t *testing.T) {
+	dir := t.TempDir()
+	in1, err := CreateDataset(dir, "in1", 1, [][]byte{[]byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := CreateDataset(dir, "in2", 1, [][]byte{[]byte("a b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Run(Config{Workers: 2, TempDir: dir}, wordCountJob(), in1, in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, out)
+	if got["a"] != "2" || got["b"] != "1" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDatasetCountAndRemove(t *testing.T) {
+	dir := t.TempDir()
+	d, err := CreateDataset(dir, "d", 3, [][]byte{[]byte("1"), []byte("2"), []byte("3"), []byte("4")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.Count()
+	if err != nil || n != 4 {
+		t.Fatalf("count = %d err=%v", n, err)
+	}
+	if d.NumPartitions() != 3 {
+		t.Fatalf("partitions = %d", d.NumPartitions())
+	}
+	d.Remove()
+	if _, err := d.Count(); err == nil {
+		t.Fatal("count after remove should fail")
+	}
+}
+
+func TestReduceGroupsSeeSortedKeys(t *testing.T) {
+	dir := t.TempDir()
+	var records [][]byte
+	for i := 0; i < 100; i++ {
+		records = append(records, []byte(fmt.Sprintf("k%02d", 99-i)))
+	}
+	input, err := CreateDataset(dir, "in", 1, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	job := Job{
+		Name: "order",
+		Map: func(rec []byte, emit Emit) error {
+			return emit(rec, nil)
+		},
+		Reduce: func(key []byte, values [][]byte, emit Emit) error {
+			keys = append(keys, string(key))
+			return nil
+		},
+	}
+	if _, _, err := Run(Config{Workers: 1, TempDir: dir}, job, input); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("reducer saw unsorted keys: %v", keys[:5])
+	}
+	if len(keys) != 100 {
+		t.Errorf("distinct keys = %d, want 100", len(keys))
+	}
+}
+
+func TestBinaryKeysSurvive(t *testing.T) {
+	dir := t.TempDir()
+	var records [][]byte
+	for i := 0; i < 20; i++ {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(i*1000))
+		records = append(records, b[:])
+	}
+	input, err := CreateDataset(dir, "in", 2, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{
+		Name: "binary",
+		Map: func(rec []byte, emit Emit) error {
+			return emit(rec, rec)
+		},
+		Reduce: func(key []byte, values [][]byte, emit Emit) error {
+			return emit(key, values[0])
+		},
+	}
+	out, _, err := Run(Config{Workers: 3, TempDir: dir}, job, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := out.Count()
+	if err != nil || n != 20 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestRunRequiresTempDir(t *testing.T) {
+	if _, _, err := Run(Config{}, wordCountJob()); err == nil {
+		t.Fatal("missing TempDir accepted")
+	}
+}
+
+func TestCombinerReducesShuffle(t *testing.T) {
+	dir := t.TempDir()
+	var records [][]byte
+	for i := 0; i < 300; i++ {
+		records = append(records, []byte("hot cold hot"))
+	}
+	input, err := CreateDataset(dir, "in", 2, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := wordCountJob()
+	out1, c1, err := Run(Config{Workers: 2, TempDir: dir}, plain, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := wordCountJob()
+	combined.Combine = func(key []byte, values [][]byte, emit Emit) error {
+		n := 0
+		for _, v := range values {
+			n += int(v[0])
+		}
+		// Re-encode the partial sum as repeated single-byte counts capped
+		// at 255 per value to stay within the toy value format.
+		for n > 0 {
+			chunk := n
+			if chunk > 255 {
+				chunk = 255
+			}
+			if err := emit(key, []byte{byte(chunk)}); err != nil {
+				return err
+			}
+			n -= chunk
+		}
+		return nil
+	}
+	out2, c2, err := Run(Config{Workers: 2, TempDir: dir}, combined, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1 := collect(t, out1)
+	got2 := collect(t, out2)
+	if got1["hot"] != "600" || got2["hot"] != got1["hot"] || got2["cold"] != got1["cold"] {
+		t.Fatalf("combined run disagrees: %v vs %v", got2, got1)
+	}
+	if c2.MapOutput >= c1.MapOutput {
+		t.Errorf("combiner did not shrink shuffle: %d vs %d records", c2.MapOutput, c1.MapOutput)
+	}
+}

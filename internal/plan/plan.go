@@ -1,0 +1,287 @@
+// Package plan implements Section 4 of the paper: the preparation step of
+// the dual approach. Given the red query graph and the symmetry-breaking
+// partial orders it enumerates all full-order query sequences, groups them
+// into v-group sequences by position topology, searches for the global
+// matching order that minimizes Cartesian products, and builds one v-group
+// forest per v-group sequence.
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"dualsim/internal/graph"
+	"dualsim/internal/rbi"
+)
+
+// VGroup is one v-group sequence: an equivalence class of full-order query
+// sequences that share a position topology (Definition 3) and therefore
+// match exactly the same ordered data vertex tuples.
+type VGroup struct {
+	// Topology has bit p*K+p' set (p < p') when positions p and p' must be
+	// adjacent in the data graph.
+	Topology uint64
+	// Sequences holds the class members: Sequences[s][pos] is the query
+	// vertex matched at sorted rank pos.
+	Sequences [][]int
+	// Forest is the traversal structure for this group under the plan's
+	// global matching order.
+	Forest *Forest
+}
+
+// HasTopologyEdge reports whether the group's topology requires positions p
+// and p' to be adjacent.
+func (vg *VGroup) HasTopologyEdge(k, p, pp int) bool {
+	if p > pp {
+		p, pp = pp, p
+	}
+	return vg.Topology&(1<<uint(p*k+pp)) != 0
+}
+
+// Forest is a v-group forest: level l (0-based) holds the position
+// MatchingOrder[l]; Parent[l] is the level of its parent node, or -1 for a
+// root. A root at level > 0 is a Cartesian product during traversal.
+type Forest struct {
+	Parent   []int
+	Children [][]int
+	Depth    []int
+	Roots    int
+}
+
+// Plan is the output of the preparation step.
+type Plan struct {
+	Query *graph.Query
+	// PO is the full symmetry-breaking partial order set.
+	PO []graph.PartialOrder
+	// RBI is the colored query graph.
+	RBI *rbi.Graph
+	// K is the number of red vertices (= forest levels).
+	K int
+	// PosOfRed maps a red query vertex's index in RBI.Red to nothing —
+	// positions are ranks in the sorted data tuple; red vertices move
+	// between positions per sequence. Retained: RedVertex[i] is RBI.Red[i].
+	Groups []*VGroup
+	// MatchingOrder[l] is the position (0-based rank) matched at level l.
+	MatchingOrder []int
+	// LevelOfPos inverts MatchingOrder.
+	LevelOfPos []int
+	// Cartesians is the number of non-level-0 roots across all forests
+	// under the chosen matching order.
+	Cartesians int
+	// PrepTime is the elapsed preparation time (the paper's Table 6).
+	PrepTime time.Duration
+}
+
+// Options configures preparation.
+type Options struct {
+	// CoverMode selects MCVC (default) or MVC red sets.
+	CoverMode rbi.CoverMode
+	// WorstOrder, when set, picks the matching order that maximizes
+	// Cartesian products instead of minimizing them (ablation only).
+	WorstOrder bool
+}
+
+// Prepare runs the full preparation step (Algorithm 1 lines 1-5).
+func Prepare(q *graph.Query, opts Options) (*Plan, error) {
+	start := time.Now()
+	po := graph.SymmetryBreak(q)
+	rg, err := rbi.Transform(q, po, opts.CoverMode)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Query: q, PO: po, RBI: rg, K: len(rg.Red)}
+	if p.K > 10 {
+		return nil, fmt.Errorf("plan: %d red vertices; the dual approach enumerates K! sequences and is intended for small queries", p.K)
+	}
+	seqs := fullOrderSequences(rg)
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("plan: no full-order query sequence satisfies the partial orders (internal error)")
+	}
+	p.Groups = groupSequences(q, seqs, p.K)
+	p.MatchingOrder, p.Cartesians = chooseMatchingOrder(p.Groups, p.K, opts.WorstOrder)
+	p.LevelOfPos = make([]int, p.K)
+	for l, pos := range p.MatchingOrder {
+		p.LevelOfPos[pos] = l
+	}
+	for _, vg := range p.Groups {
+		vg.Forest = buildForest(vg, p.MatchingOrder, p.K)
+	}
+	p.PrepTime = time.Since(start)
+	return p, nil
+}
+
+// fullOrderSequences enumerates the permutations of the red vertices that
+// are linear extensions of the internal partial orders (Definition 2).
+func fullOrderSequences(rg *rbi.Graph) [][]int {
+	red := rg.Red
+	k := len(red)
+	// posConstraint[i][j] true means red[i] must precede red[j].
+	prec := make([][]bool, k)
+	for i := range prec {
+		prec[i] = make([]bool, k)
+	}
+	idx := map[int]int{}
+	for i, u := range red {
+		idx[u] = i
+	}
+	for _, c := range rg.InternalPO {
+		prec[idx[c.Lo]][idx[c.Hi]] = true
+	}
+	var out [][]int
+	seq := make([]int, k) // seq[pos] = red-local index
+	placed := make([]bool, k)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == k {
+			qseq := make([]int, k)
+			for p, i := range seq {
+				qseq[p] = red[i]
+			}
+			out = append(out, qseq)
+			return
+		}
+		for i := 0; i < k; i++ {
+			if placed[i] {
+				continue
+			}
+			// Every red vertex that must precede red[i] must be placed.
+			ok := true
+			for j := 0; j < k; j++ {
+				if prec[j][i] && !placed[j] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			seq[pos] = i
+			placed[i] = true
+			rec(pos + 1)
+			placed[i] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+// groupSequences partitions full-order sequences into v-groups by topology.
+func groupSequences(q *graph.Query, seqs [][]int, k int) []*VGroup {
+	byTopo := map[uint64]*VGroup{}
+	var order []uint64
+	for _, s := range seqs {
+		var topo uint64
+		for p := 0; p < k; p++ {
+			for pp := p + 1; pp < k; pp++ {
+				if q.HasEdge(s[p], s[pp]) {
+					topo |= 1 << uint(p*k+pp)
+				}
+			}
+		}
+		vg, ok := byTopo[topo]
+		if !ok {
+			vg = &VGroup{Topology: topo}
+			byTopo[topo] = vg
+			order = append(order, topo)
+		}
+		vg.Sequences = append(vg.Sequences, s)
+	}
+	out := make([]*VGroup, 0, len(order))
+	for _, topo := range order {
+		out = append(out, byTopo[topo])
+	}
+	return out
+}
+
+// buildForest constructs the v-group forest for vg under matching order mo:
+// the node at level l holds position mo[l]; its parent is the deepest
+// earlier node adjacent to it in the group's topology (paper: "the one
+// which is farthest from its root node"), or none (a new root).
+func buildForest(vg *VGroup, mo []int, k int) *Forest {
+	f := &Forest{
+		Parent:   make([]int, k),
+		Children: make([][]int, k),
+		Depth:    make([]int, k),
+	}
+	for l := 0; l < k; l++ {
+		pos := mo[l]
+		parent := -1
+		for pl := 0; pl < l; pl++ {
+			if vg.HasTopologyEdge(k, mo[pl], pos) {
+				if parent < 0 || f.Depth[pl] > f.Depth[parent] ||
+					(f.Depth[pl] == f.Depth[parent] && pl > parent) {
+					parent = pl
+				}
+			}
+		}
+		f.Parent[l] = parent
+		if parent < 0 {
+			f.Roots++
+			f.Depth[l] = 0
+		} else {
+			f.Depth[l] = f.Depth[parent] + 1
+			f.Children[parent] = append(f.Children[parent], l)
+		}
+	}
+	return f
+}
+
+// chooseMatchingOrder evaluates every permutation of positions and returns
+// the one minimizing total Cartesian products (roots beyond the level-0
+// root, summed over groups). K is tiny, so exhaustive search is negligible
+// next to the enumeration itself, as the paper argues.
+func chooseMatchingOrder(groups []*VGroup, k int, worst bool) ([]int, int) {
+	best := make([]int, k)
+	bestScore := -1
+	perm := make([]int, k)
+	used := make([]bool, k)
+	var rec func(l int)
+	rec = func(l int) {
+		if l == k {
+			score := 0
+			for _, vg := range groups {
+				f := buildForest(vg, perm, k)
+				score += f.Roots - 1
+			}
+			better := false
+			if bestScore < 0 {
+				better = true
+			} else if worst {
+				better = score > bestScore
+			} else {
+				better = score < bestScore
+			}
+			if better {
+				bestScore = score
+				copy(best, perm)
+			}
+			return
+		}
+		for p := 0; p < k; p++ {
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			perm[l] = p
+			rec(l + 1)
+			used[p] = false
+		}
+	}
+	rec(0)
+	return best, bestScore
+}
+
+// NumFullOrderSequences returns the total sequence count across groups.
+func (p *Plan) NumFullOrderSequences() int {
+	n := 0
+	for _, vg := range p.Groups {
+		n += len(vg.Sequences)
+	}
+	return n
+}
+
+// String summarizes the plan for logging.
+func (p *Plan) String() string {
+	return fmt.Sprintf("plan{%s: red=%v, %d sequences in %d v-groups, mo=%v, cartesians=%d}",
+		p.Query.Name(), p.RBI.Red, p.NumFullOrderSequences(), len(p.Groups), p.MatchingOrder, p.Cartesians)
+}

@@ -1,0 +1,169 @@
+package pregel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dualsim/internal/graph"
+)
+
+func lineGraph(n int) *graph.Graph {
+	var edges [][2]graph.VertexID
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]graph.VertexID{graph.VertexID(i), graph.VertexID(i + 1)})
+	}
+	return graph.MustNewGraph(n, edges)
+}
+
+// TestMessagePropagation floods a token from vertex 0 down a line graph,
+// one hop per superstep.
+func TestMessagePropagation(t *testing.T) {
+	const n = 10
+	g := lineGraph(n)
+	compute := func(ctx *Context, v graph.VertexID, msgs [][]uint32) error {
+		if ctx.Superstep() == 0 {
+			if v == 0 {
+				ctx.Send(1, []uint32{0})
+			}
+			return nil
+		}
+		for range msgs {
+			ctx.AddCount(1)
+			if int(v)+1 < n {
+				ctx.Send(v+1, []uint32{uint32(v)})
+			}
+		}
+		return nil
+	}
+	for _, workers := range []int{1, 3} {
+		eng := NewEngine(g, compute, Config{Workers: workers})
+		stats, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Count != n-1 {
+			t.Errorf("workers=%d: count = %d, want %d", workers, stats.Count, n-1)
+		}
+		if stats.Supersteps != n {
+			t.Errorf("workers=%d: supersteps = %d, want %d", workers, stats.Supersteps, n)
+		}
+		if stats.TotalMessages != n-1 {
+			t.Errorf("workers=%d: messages = %d, want %d", workers, stats.TotalMessages, n-1)
+		}
+	}
+}
+
+func TestMemoryOverrun(t *testing.T) {
+	g := lineGraph(4)
+	// Every vertex floods every vertex each superstep: blows a tiny budget.
+	compute := func(ctx *Context, v graph.VertexID, msgs [][]uint32) error {
+		if ctx.Superstep() > 3 {
+			return nil
+		}
+		for i := 0; i < g.NumVertices(); i++ {
+			ctx.Send(graph.VertexID(i), []uint32{1, 2, 3, 4})
+		}
+		return nil
+	}
+	eng := NewEngine(g, compute, Config{Workers: 2, MemoryPerWorker: 64})
+	_, err := eng.Run()
+	if !errors.Is(err, ErrMemoryOverrun) {
+		t.Fatalf("want ErrMemoryOverrun, got %v", err)
+	}
+}
+
+func TestComputeErrorPropagates(t *testing.T) {
+	g := lineGraph(3)
+	boom := errors.New("boom")
+	compute := func(ctx *Context, v graph.VertexID, msgs [][]uint32) error {
+		return boom
+	}
+	eng := NewEngine(g, compute, Config{Workers: 2})
+	if _, err := eng.Run(); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestMaxSupersteps(t *testing.T) {
+	g := lineGraph(2)
+	// Ping-pong forever.
+	compute := func(ctx *Context, v graph.VertexID, msgs [][]uint32) error {
+		if ctx.Superstep() == 0 && v == 0 {
+			ctx.Send(1, []uint32{1})
+			return nil
+		}
+		for range msgs {
+			ctx.Send(1-v, []uint32{1})
+		}
+		return nil
+	}
+	eng := NewEngine(g, compute, Config{Workers: 1, MaxSupersteps: 5})
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Supersteps != 5 {
+		t.Errorf("supersteps = %d, want 5", stats.Supersteps)
+	}
+}
+
+func TestStatsPerStep(t *testing.T) {
+	g := lineGraph(5)
+	compute := func(ctx *Context, v graph.VertexID, msgs [][]uint32) error {
+		if ctx.Superstep() == 0 {
+			ctx.Send(v, []uint32{uint32(v)}) // everyone messages itself once
+		}
+		return nil
+	}
+	eng := NewEngine(g, compute, Config{Workers: 2})
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.MessagesPerStep) == 0 || stats.MessagesPerStep[0] != 5 {
+		t.Errorf("per-step messages = %v", stats.MessagesPerStep)
+	}
+	if stats.TotalMsgBytes == 0 {
+		t.Errorf("message bytes not accounted")
+	}
+}
+
+func TestDeterministicCountAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var edges [][2]graph.VertexID
+	for i := 0; i < 400; i++ {
+		edges = append(edges, [2]graph.VertexID{
+			graph.VertexID(rng.Intn(80)), graph.VertexID(rng.Intn(80)),
+		})
+	}
+	g := graph.MustNewGraph(80, edges)
+	// Count edges via messages: each vertex notifies higher neighbors.
+	compute := func(ctx *Context, v graph.VertexID, msgs [][]uint32) error {
+		if ctx.Superstep() == 0 {
+			for _, w := range g.Adj(v) {
+				if w > v {
+					ctx.Send(w, []uint32{uint32(v)})
+				}
+			}
+			return nil
+		}
+		ctx.AddCount(uint64(len(msgs)))
+		return nil
+	}
+	var counts []uint64
+	for _, workers := range []int{1, 2, 7} {
+		eng := NewEngine(g, compute, Config{Workers: workers})
+		stats, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, stats.Count)
+	}
+	want := uint64(g.NumEdges())
+	for i, c := range counts {
+		if c != want {
+			t.Errorf("run %d: count %d, want %d", i, c, want)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"dualsim/internal/graph"
+)
+
+// BuildOptions configures database construction.
+type BuildOptions struct {
+	// PageSize is the slotted-page size in bytes (default DefaultPageSize).
+	PageSize int
+	// TempDir holds external-sort run files (default: alongside the DB).
+	TempDir string
+	// RunSize is the number of directed pairs per in-memory sort run
+	// (default 1<<20). Small values force real multi-run external sorts.
+	RunSize int
+	// SkipReorder keeps the source's vertex IDs instead of relabeling by the
+	// degree-based total order.
+	SkipReorder bool
+	// AppendFraction, when in (0,1), reorders only the lowest (1-f) fraction
+	// of vertices and appends the rest in original order — the paper's
+	// evolving-graph simulation ("95% of vertices fully sorted, append 5%").
+	AppendFraction float64
+	// Compress stores adjacency lists delta+varint encoded. Sorted lists of
+	// nearby IDs shrink well below 4 bytes/entry, cutting pages and reads.
+	Compress bool
+}
+
+// BuildStats reports what the preprocessing step did.
+type BuildStats struct {
+	NumVertices int
+	NumEdges    uint64
+	NumPages    int
+	MaxDegree   int
+	SortRuns    int
+	Elapsed     time.Duration
+}
+
+// Build preprocesses the edges of src into a DUALSIM database file at path:
+// it relabels vertices by the degree-based total order, externally sorts the
+// directed edge pairs, and writes adjacency lists into slotted pages with a
+// trailing vertex directory. This is the paper's Table 3 preprocessing.
+func Build(path string, src EdgeSource, opt BuildOptions) (*BuildStats, error) {
+	start := time.Now()
+	if opt.PageSize == 0 {
+		opt.PageSize = DefaultPageSize
+	}
+	if opt.PageSize < MinPageSize {
+		return nil, fmt.Errorf("storage: page size %d below minimum %d", opt.PageSize, MinPageSize)
+	}
+	n := src.NumVertices()
+	if n <= 0 {
+		return nil, fmt.Errorf("storage: source has no vertices")
+	}
+
+	// Pass 1: degree counting for the total order.
+	deg := make([]uint32, n)
+	if err := src.Reset(); err != nil {
+		return nil, err
+	}
+	for {
+		u, v, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if u == v {
+			continue
+		}
+		if int(u) >= n || int(v) >= n {
+			return nil, fmt.Errorf("storage: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		deg[u]++
+		deg[v]++
+	}
+	perm := buildPerm(deg, opt)
+
+	// Pass 2: externally sort relabeled directed pairs.
+	tempDir := opt.TempDir
+	if tempDir == "" {
+		tempDir = os.TempDir()
+	}
+	sorter := newExternalSorter(tempDir, opt.RunSize)
+	if err := src.Reset(); err != nil {
+		return nil, err
+	}
+	for {
+		u, v, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if u == v {
+			continue
+		}
+		pu, pv := perm[u], perm[v]
+		if err := sorter.add(pu, pv); err != nil {
+			return nil, err
+		}
+		if err := sorter.add(pv, pu); err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge into pages.
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create db: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<18)
+	// Reserve the superblock page.
+	if _, err := w.Write(make([]byte, opt.PageSize)); err != nil {
+		return nil, err
+	}
+
+	pw := newDBPageWriter(w, opt.PageSize, n)
+	pw.compress = opt.Compress
+	err = sorter.merge(func(u, v graph.VertexID) error { return pw.addEdge(u, v) })
+	if err != nil {
+		return nil, err
+	}
+	if err := pw.finish(); err != nil {
+		return nil, err
+	}
+
+	// Directory.
+	dirOffset := int64(opt.PageSize) * int64(pw.numPages+1)
+	for v := 0; v < n; v++ {
+		var rec [12]byte
+		binary.LittleEndian.PutUint32(rec[0:], uint32(pw.dir[v].FirstPage))
+		binary.LittleEndian.PutUint32(rec[4:], pw.dir[v].Span)
+		binary.LittleEndian.PutUint32(rec[8:], pw.dir[v].Degree)
+		if _, err := w.Write(rec[:]); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+
+	// Superblock.
+	sb := superblock{
+		pageSize:    uint32(opt.PageSize),
+		numVertices: uint32(n),
+		numEdges:    pw.directedRecords / 2,
+		numPages:    uint32(pw.numPages),
+		maxDegree:   uint32(pw.maxDegree),
+		dirOffset:   uint64(dirOffset),
+	}
+	if err := sb.writeTo(f); err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		return nil, err
+	}
+	return &BuildStats{
+		NumVertices: n,
+		NumEdges:    pw.directedRecords / 2,
+		NumPages:    pw.numPages,
+		MaxDegree:   pw.maxDegree,
+		SortRuns:    sorter.numRuns(),
+		Elapsed:     time.Since(start),
+	}, nil
+}
+
+// buildPerm computes the relabeling permutation (perm[old] = new).
+func buildPerm(deg []uint32, opt BuildOptions) []graph.VertexID {
+	n := len(deg)
+	perm := make([]graph.VertexID, n)
+	if opt.SkipReorder {
+		for i := range perm {
+			perm[i] = graph.VertexID(i)
+		}
+		return perm
+	}
+	sorted := n
+	if opt.AppendFraction > 0 && opt.AppendFraction < 1 {
+		sorted = int(float64(n) * (1 - opt.AppendFraction))
+	}
+	order := make([]int, sorted)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if deg[order[i]] != deg[order[j]] {
+			return deg[order[i]] < deg[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	for newID, oldID := range order {
+		perm[oldID] = graph.VertexID(newID)
+	}
+	for oldID := sorted; oldID < n; oldID++ {
+		perm[oldID] = graph.VertexID(oldID) // appended tail keeps its position
+	}
+	return perm
+}
+
+// vertexLoc is one directory entry.
+type vertexLoc struct {
+	FirstPage PageID
+	Span      uint32
+	Degree    uint32
+}
+
+// dbPageWriter packs the merged adjacency stream into pages, emitting empty
+// records for isolated vertices so every vertex has a directory entry.
+type dbPageWriter struct {
+	w               *bufio.Writer
+	pw              *PageWriter
+	pageSize        int
+	compress        bool
+	n               int
+	dir             []vertexLoc
+	numPages        int
+	maxDegree       int
+	directedRecords uint64
+
+	cur        graph.VertexID // vertex whose adjacency is being accumulated
+	curAdj     []graph.VertexID
+	nextVertex int // next vertex that must receive a record
+}
+
+func newDBPageWriter(w *bufio.Writer, pageSize, n int) *dbPageWriter {
+	return &dbPageWriter{
+		w:        w,
+		pw:       NewPageWriter(pageSize, 0),
+		pageSize: pageSize,
+		n:        n,
+		dir:      make([]vertexLoc, n),
+		cur:      graph.VertexID(n), // sentinel: nothing accumulated
+	}
+}
+
+func (b *dbPageWriter) addEdge(u, v graph.VertexID) error {
+	b.directedRecords++
+	if b.cur != u {
+		if err := b.flushVertex(); err != nil {
+			return err
+		}
+		b.cur = u
+		b.curAdj = b.curAdj[:0]
+	}
+	b.curAdj = append(b.curAdj, v)
+	return nil
+}
+
+// flushVertex writes the accumulated vertex (and empty records for any
+// skipped isolated vertices before it).
+func (b *dbPageWriter) flushVertex() error {
+	if int(b.cur) >= b.n { // sentinel
+		return nil
+	}
+	if err := b.fillIsolated(int(b.cur)); err != nil {
+		return err
+	}
+	if err := b.writeVertex(b.cur, b.curAdj); err != nil {
+		return err
+	}
+	b.nextVertex = int(b.cur) + 1
+	return nil
+}
+
+func (b *dbPageWriter) fillIsolated(upto int) error {
+	for v := b.nextVertex; v < upto; v++ {
+		if err := b.writeVertex(graph.VertexID(v), nil); err != nil {
+			return err
+		}
+	}
+	if upto > b.nextVertex {
+		b.nextVertex = upto
+	}
+	return nil
+}
+
+func (b *dbPageWriter) writeVertex(v graph.VertexID, adj []graph.VertexID) error {
+	if len(adj) > b.maxDegree {
+		b.maxDegree = len(adj)
+	}
+	b.dir[v].Degree = uint32(len(adj))
+	if b.compress {
+		return b.writeVertexCompressed(v, adj)
+	}
+	freshCap := MaxEntriesPerPage(b.pageSize)
+	// If the whole record fits in a fresh page but not the current one,
+	// flush first so small vertices are never split.
+	if len(adj) <= freshCap && b.pw.FreeEntryCapacity() < len(adj) {
+		if err := b.flushPage(); err != nil {
+			return err
+		}
+	}
+	first := true
+	remaining := adj
+	for {
+		capEntries := b.pw.FreeEntryCapacity()
+		if capEntries < 0 || (capEntries == 0 && len(remaining) > 0) {
+			if err := b.flushPage(); err != nil {
+				return err
+			}
+			continue
+		}
+		take := len(remaining)
+		if take > capEntries {
+			take = capEntries
+		}
+		continues := take < len(remaining)
+		if !b.pw.Add(v, remaining[:take], continues, !first) {
+			if err := b.flushPage(); err != nil {
+				return err
+			}
+			continue
+		}
+		if first {
+			b.dir[v].FirstPage = PageID(b.numPages)
+			first = false
+		}
+		b.dir[v].Span = uint32(b.numPages) - uint32(b.dir[v].FirstPage) + 1
+		remaining = remaining[take:]
+		if len(remaining) == 0 {
+			return nil
+		}
+		if err := b.flushPage(); err != nil {
+			return err
+		}
+	}
+}
+
+// writeVertexCompressed is writeVertex for the delta-varint encoding:
+// chunk boundaries are computed in encoded bytes instead of entry counts.
+func (b *dbPageWriter) writeVertexCompressed(v graph.VertexID, adj []graph.VertexID) error {
+	freshPayload := b.pageSize - pageHeaderSize - slotSize - recordHeaderSize
+	if n, _ := maxDeltaEntries(adj, freshPayload); n == len(adj) {
+		// Whole record fits in a fresh page: avoid splitting small vertices.
+		if !b.pw.AddCompressed(v, adj, false, false) {
+			if err := b.flushPage(); err != nil {
+				return err
+			}
+			if !b.pw.AddCompressed(v, adj, false, false) {
+				return fmt.Errorf("storage: record for vertex %d does not fit an empty page", v)
+			}
+		}
+		b.dir[v].FirstPage = PageID(b.numPages)
+		b.dir[v].Span = 1
+		return nil
+	}
+	first := true
+	remaining := adj
+	for {
+		take, _ := maxDeltaEntries(remaining, b.pw.FreeBytes())
+		if take == 0 && len(remaining) > 0 {
+			if err := b.flushPage(); err != nil {
+				return err
+			}
+			continue
+		}
+		continues := take < len(remaining)
+		if !b.pw.AddCompressed(v, remaining[:take], continues, !first) {
+			if err := b.flushPage(); err != nil {
+				return err
+			}
+			continue
+		}
+		if first {
+			b.dir[v].FirstPage = PageID(b.numPages)
+			first = false
+		}
+		b.dir[v].Span = uint32(b.numPages) - uint32(b.dir[v].FirstPage) + 1
+		remaining = remaining[take:]
+		if len(remaining) == 0 {
+			return nil
+		}
+		if err := b.flushPage(); err != nil {
+			return err
+		}
+	}
+}
+
+func (b *dbPageWriter) flushPage() error {
+	if b.pw.NumRecords() == 0 {
+		return nil
+	}
+	if _, err := b.w.Write(b.pw.Bytes()); err != nil {
+		return err
+	}
+	b.numPages++
+	b.pw.Reset(PageID(b.numPages))
+	return nil
+}
+
+func (b *dbPageWriter) finish() error {
+	if err := b.flushVertex(); err != nil {
+		return err
+	}
+	if err := b.fillIsolated(b.n); err != nil {
+		return err
+	}
+	return b.flushPage()
+}
+
+// BuildFromGraph is a convenience wrapper writing g to path.
+func BuildFromGraph(path string, g *graph.Graph, opt BuildOptions) (*BuildStats, error) {
+	return Build(path, NewGraphSource(g), opt)
+}

@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dualsim/internal/graph"
+)
+
+// Adjacency compression: because adjacency lists are sorted, consecutive
+// IDs are close together, and delta + varint encoding typically shrinks
+// them well below 4 bytes per entry — fewer pages, fewer reads. Records
+// carry flagCompressed; pages mix encodings freely, so compressed
+// databases stay readable by the same parser.
+
+// encodeDelta appends the delta-varint encoding of adj to dst: the first
+// entry as an absolute varint, each subsequent entry as the difference to
+// its predecessor (always positive in a sorted list).
+func encodeDelta(dst []byte, adj []graph.VertexID) []byte {
+	prev := uint32(0)
+	first := true
+	var tmp [binary.MaxVarintLen32]byte
+	for _, v := range adj {
+		var d uint64
+		if first {
+			d = uint64(v)
+			first = false
+		} else {
+			d = uint64(uint32(v) - prev)
+		}
+		n := binary.PutUvarint(tmp[:], d)
+		dst = append(dst, tmp[:n]...)
+		prev = uint32(v)
+	}
+	return dst
+}
+
+// decodeDelta decodes count entries from buf.
+func decodeDelta(buf []byte, count int) ([]graph.VertexID, error) {
+	out := make([]graph.VertexID, count)
+	prev := uint32(0)
+	pos := 0
+	for i := 0; i < count; i++ {
+		d, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("storage: corrupt varint at entry %d", i)
+		}
+		pos += n
+		if i == 0 {
+			prev = uint32(d)
+		} else {
+			prev += uint32(d)
+		}
+		out[i] = graph.VertexID(prev)
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("storage: %d trailing bytes after %d entries", len(buf)-pos, count)
+	}
+	return out, nil
+}
+
+// maxDeltaEntries returns how many leading entries of adj encode into at
+// most maxBytes, and the encoded byte count. Used to split long lists at
+// page boundaries.
+func maxDeltaEntries(adj []graph.VertexID, maxBytes int) (n, bytes int) {
+	prev := uint32(0)
+	first := true
+	var tmp [binary.MaxVarintLen32]byte
+	for _, v := range adj {
+		var d uint64
+		if first {
+			d = uint64(v)
+		} else {
+			d = uint64(uint32(v) - prev)
+		}
+		sz := binary.PutUvarint(tmp[:], d)
+		if bytes+sz > maxBytes {
+			return n, bytes
+		}
+		bytes += sz
+		n++
+		prev = uint32(v)
+		first = false
+	}
+	return n, bytes
+}
+
+// AddCompressed appends a delta-varint record. It returns false without
+// modifying the page when the record does not fit.
+func (w *PageWriter) AddCompressed(v graph.VertexID, adj []graph.VertexID, continues, continuation bool) bool {
+	w.scratch = encodeDelta(w.scratch[:0], adj)
+	need := recordHeaderSize + len(w.scratch)
+	if w.free+need+slotSize > w.slotTop {
+		return false
+	}
+	off := w.free
+	binary.LittleEndian.PutUint32(w.buf[off:], uint32(v))
+	flags := byte(flagCompressed)
+	if continues {
+		flags |= flagContinues
+	}
+	if continuation {
+		flags |= flagContinuation
+	}
+	w.buf[off+4] = flags
+	binary.LittleEndian.PutUint16(w.buf[off+6:], uint16(len(adj)))
+	copy(w.buf[off+recordHeaderSize:], w.scratch)
+	w.free += need
+	w.slotTop -= slotSize
+	binary.LittleEndian.PutUint16(w.buf[w.slotTop:], uint16(off))
+	binary.LittleEndian.PutUint16(w.buf[w.slotTop+2:], uint16(need))
+	w.nrec++
+	return true
+}
+
+// FreeBytes returns the payload bytes available for one more record.
+func (w *PageWriter) FreeBytes() int {
+	space := w.slotTop - w.free - slotSize - recordHeaderSize
+	if space < 0 {
+		return 0
+	}
+	return space
+}

@@ -1,0 +1,312 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"dualsim/internal/graph"
+)
+
+const (
+	dbMagic   = 0x42445344 // "DSDB" little endian
+	dbVersion = 2          // v2: CRC-32 page checksums
+)
+
+// superblock is the fixed header stored in the first page of the file.
+type superblock struct {
+	pageSize    uint32
+	numVertices uint32
+	numEdges    uint64
+	numPages    uint32
+	maxDegree   uint32
+	dirOffset   uint64
+}
+
+func (sb *superblock) writeTo(f *os.File) error {
+	var buf [40]byte
+	binary.LittleEndian.PutUint32(buf[0:], dbMagic)
+	binary.LittleEndian.PutUint32(buf[4:], dbVersion)
+	binary.LittleEndian.PutUint32(buf[8:], sb.pageSize)
+	binary.LittleEndian.PutUint32(buf[12:], sb.numVertices)
+	binary.LittleEndian.PutUint64(buf[16:], sb.numEdges)
+	binary.LittleEndian.PutUint32(buf[24:], sb.numPages)
+	binary.LittleEndian.PutUint32(buf[28:], sb.maxDegree)
+	binary.LittleEndian.PutUint64(buf[32:], sb.dirOffset)
+	_, err := f.WriteAt(buf[:], 0)
+	return err
+}
+
+func readSuperblock(f *os.File) (*superblock, error) {
+	var buf [40]byte
+	if _, err := f.ReadAt(buf[:], 0); err != nil {
+		return nil, fmt.Errorf("storage: read superblock: %w", err)
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != dbMagic {
+		return nil, fmt.Errorf("storage: bad magic (not a dualsim database)")
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != dbVersion {
+		return nil, fmt.Errorf("storage: unsupported version %d", v)
+	}
+	return &superblock{
+		pageSize:    binary.LittleEndian.Uint32(buf[8:]),
+		numVertices: binary.LittleEndian.Uint32(buf[12:]),
+		numEdges:    binary.LittleEndian.Uint64(buf[16:]),
+		numPages:    binary.LittleEndian.Uint32(buf[24:]),
+		maxDegree:   binary.LittleEndian.Uint32(buf[28:]),
+		dirOffset:   binary.LittleEndian.Uint64(buf[32:]),
+	}, nil
+}
+
+// DB is a read-only handle to a built database. It is safe for concurrent
+// use: page reads use positional I/O.
+type DB struct {
+	f   *os.File
+	sb  superblock
+	dir []vertexLoc
+}
+
+// Open opens a database file built with Build.
+func Open(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open db: %w", err)
+	}
+	sb, err := readSuperblock(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if sb.pageSize < MinPageSize {
+		f.Close()
+		return nil, fmt.Errorf("storage: corrupt page size %d", sb.pageSize)
+	}
+	dirBytes := make([]byte, 12*int64(sb.numVertices))
+	if _, err := f.ReadAt(dirBytes, int64(sb.dirOffset)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: read directory: %w", err)
+	}
+	dir := make([]vertexLoc, sb.numVertices)
+	for v := range dir {
+		o := 12 * v
+		dir[v] = vertexLoc{
+			FirstPage: PageID(binary.LittleEndian.Uint32(dirBytes[o:])),
+			Span:      binary.LittleEndian.Uint32(dirBytes[o+4:]),
+			Degree:    binary.LittleEndian.Uint32(dirBytes[o+8:]),
+		}
+	}
+	return &DB{f: f, sb: *sb, dir: dir}, nil
+}
+
+// Close releases the underlying file.
+func (db *DB) Close() error { return db.f.Close() }
+
+// PageSize returns the page size in bytes.
+func (db *DB) PageSize() int { return int(db.sb.pageSize) }
+
+// NumVertices returns the vertex count.
+func (db *DB) NumVertices() int { return int(db.sb.numVertices) }
+
+// NumEdges returns the undirected edge count.
+func (db *DB) NumEdges() uint64 { return db.sb.numEdges }
+
+// NumPages returns the number of data pages.
+func (db *DB) NumPages() int { return int(db.sb.numPages) }
+
+// MaxDegree returns the largest vertex degree.
+func (db *DB) MaxDegree() int { return int(db.sb.maxDegree) }
+
+// PageOf returns P(v): the first page holding v's adjacency list.
+func (db *DB) PageOf(v graph.VertexID) PageID { return db.dir[v].FirstPage }
+
+// SpanOf returns the first and last page of v's adjacency sublists.
+func (db *DB) SpanOf(v graph.VertexID) (first, last PageID) {
+	loc := db.dir[v]
+	return loc.FirstPage, loc.FirstPage + PageID(loc.Span) - 1
+}
+
+// Degree returns d(v) from the directory without touching data pages.
+func (db *DB) Degree(v graph.VertexID) int { return int(db.dir[v].Degree) }
+
+// ReadPageInto reads the raw image of page pid into buf, which must be
+// PageSize() bytes. It uses positional I/O and is safe for concurrent use.
+func (db *DB) ReadPageInto(pid PageID, buf []byte) error {
+	if int(pid) >= db.NumPages() {
+		return fmt.Errorf("storage: page %d out of range [0,%d)", pid, db.NumPages())
+	}
+	if len(buf) != db.PageSize() {
+		return fmt.Errorf("storage: buffer %d bytes, want %d", len(buf), db.PageSize())
+	}
+	off := int64(db.sb.pageSize) * (int64(pid) + 1)
+	if _, err := db.f.ReadAt(buf, off); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", pid, err)
+	}
+	return nil
+}
+
+// ReadPage reads and parses page pid.
+func (db *DB) ReadPage(pid PageID) (*Page, error) {
+	buf := make([]byte, db.PageSize())
+	if err := db.ReadPageInto(pid, buf); err != nil {
+		return nil, err
+	}
+	return ParsePage(buf)
+}
+
+// Adjacency reads the full adjacency list of v, following continuation
+// records across pages. Intended for tools and tests; the engine reads
+// whole pages through the buffer pool instead.
+func (db *DB) Adjacency(v graph.VertexID) ([]graph.VertexID, error) {
+	first, last := db.SpanOf(v)
+	var out []graph.VertexID
+	for pid := first; pid <= last; pid++ {
+		p, err := db.ReadPage(pid)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range p.Records {
+			if r.Vertex == v {
+				out = append(out, r.Adj...)
+			}
+		}
+	}
+	if len(out) != db.Degree(v) {
+		return nil, fmt.Errorf("storage: vertex %d adjacency %d entries, directory says %d", v, len(out), db.Degree(v))
+	}
+	return out, nil
+}
+
+// LoadGraph reads the whole database into an in-memory graph. Used by tests
+// and the in-memory baselines.
+func (db *DB) LoadGraph() (*graph.Graph, error) {
+	var edges [][2]graph.VertexID
+	for pid := 0; pid < db.NumPages(); pid++ {
+		p, err := db.ReadPage(PageID(pid))
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range p.Records {
+			for _, w := range r.Adj {
+				if r.Vertex < w {
+					edges = append(edges, [2]graph.VertexID{r.Vertex, w})
+				}
+			}
+		}
+	}
+	return graph.NewGraph(db.NumVertices(), edges)
+}
+
+// PageGraph returns, for each page, the set of pages reachable by a single
+// data edge (the page graph of Figure 1). Used by tests and stats.
+func (db *DB) PageGraph() ([][]PageID, error) {
+	out := make([][]PageID, db.NumPages())
+	for pid := 0; pid < db.NumPages(); pid++ {
+		p, err := db.ReadPage(PageID(pid))
+		if err != nil {
+			return nil, err
+		}
+		seen := map[PageID]bool{}
+		for _, r := range p.Records {
+			for _, w := range r.Adj {
+				seen[db.PageOf(w)] = true
+			}
+		}
+		adj := make([]PageID, 0, len(seen))
+		for q := range seen {
+			adj = append(adj, q)
+		}
+		sortPageIDs(adj)
+		out[pid] = adj
+	}
+	return out, nil
+}
+
+func sortPageIDs(a []PageID) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// VerifyIntegrity re-reads every page and checks structural invariants:
+// parseability, vertex order monotone across pages, directory consistency,
+// and adjacency symmetry. Returns the first problem found.
+func (db *DB) VerifyIntegrity() error {
+	prev := graph.VertexID(0)
+	first := true
+	degrees := make([]uint32, db.NumVertices())
+	for pid := 0; pid < db.NumPages(); pid++ {
+		p, err := db.ReadPage(PageID(pid))
+		if err != nil {
+			return err
+		}
+		if p.ID != PageID(pid) {
+			return fmt.Errorf("storage: page %d claims ID %d", pid, p.ID)
+		}
+		for _, r := range p.Records {
+			if !first && r.Vertex < prev {
+				return fmt.Errorf("storage: vertex order violated at page %d (%d after %d)", pid, r.Vertex, prev)
+			}
+			prev = r.Vertex
+			first = false
+			if !r.Continuation {
+				if db.PageOf(r.Vertex) != PageID(pid) {
+					return fmt.Errorf("storage: directory says P(%d)=%d but record starts at %d", r.Vertex, db.PageOf(r.Vertex), pid)
+				}
+			}
+			degrees[r.Vertex] += uint32(len(r.Adj))
+		}
+	}
+	for v := range degrees {
+		if degrees[v] != uint32(db.Degree(graph.VertexID(v))) {
+			return fmt.Errorf("storage: vertex %d has %d entries on disk, directory says %d", v, degrees[v], db.Degree(graph.VertexID(v)))
+		}
+	}
+	return nil
+}
+
+var _ io.Closer = (*DB)(nil)
+
+// FileStats summarizes the physical layout of a database.
+type FileStats struct {
+	Pages          int
+	PageSize       int
+	FillFactor     float64 // used payload bytes / available bytes
+	Records        int
+	SplitVertices  int // vertices whose adjacency spans pages
+	CompressedRecs int
+}
+
+// Stats scans every page and reports layout statistics.
+func (db *DB) Stats() (*FileStats, error) {
+	st := &FileStats{Pages: db.NumPages(), PageSize: db.PageSize()}
+	var usedBytes, availBytes int64
+	split := map[graph.VertexID]bool{}
+	buf := make([]byte, db.PageSize())
+	for pid := 0; pid < db.NumPages(); pid++ {
+		if err := db.ReadPageInto(PageID(pid), buf); err != nil {
+			return nil, err
+		}
+		p, err := ParsePage(buf)
+		if err != nil {
+			return nil, err
+		}
+		availBytes += int64(db.PageSize() - pageHeaderSize)
+		for _, r := range p.Records {
+			st.Records++
+			if r.Continues || r.Continuation {
+				split[r.Vertex] = true
+			}
+			usedBytes += int64(recordHeaderSize + slotSize)
+		}
+		// Payload: freeStart is a reliable fill measure.
+		usedBytes += int64(int(buf[6]) | int(buf[7])<<8 - pageHeaderSize)
+	}
+	st.SplitVertices = len(split)
+	if availBytes > 0 {
+		st.FillFactor = float64(usedBytes) / float64(availBytes)
+	}
+	return st, nil
+}

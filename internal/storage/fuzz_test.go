@@ -1,0 +1,50 @@
+package storage
+
+import (
+	"testing"
+
+	"dualsim/internal/graph"
+)
+
+// FuzzParsePage hardens the page parser against arbitrary bytes: it must
+// either return an error or a structurally valid page — never panic or
+// over-read.
+func FuzzParsePage(f *testing.F) {
+	// Seed with valid pages of both encodings.
+	w := NewPageWriter(256, 1)
+	w.Add(3, []graph.VertexID{4, 5, 6}, false, false)
+	f.Add(append([]byte(nil), w.Bytes()...))
+	w.Reset(2)
+	w.AddCompressed(7, []graph.VertexID{8, 1000, 1000000}, true, false)
+	f.Add(append([]byte(nil), w.Bytes()...))
+	f.Add(make([]byte, 256))
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePage(data)
+		if err != nil {
+			return
+		}
+		for _, rec := range p.Records {
+			_ = rec.Vertex
+			_ = len(rec.Adj)
+		}
+	})
+}
+
+// FuzzDecodeDelta hardens the varint decoder: arbitrary buffers and counts
+// must never panic.
+func FuzzDecodeDelta(f *testing.F) {
+	f.Add([]byte{5, 1, 1}, 3)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80}, 1)
+	f.Fuzz(func(t *testing.T, buf []byte, count int) {
+		if count < 0 || count > 1<<16 {
+			return
+		}
+		adj, err := decodeDelta(buf, count)
+		if err == nil && len(adj) != count {
+			t.Fatalf("decoded %d entries, want %d", len(adj), count)
+		}
+	})
+}

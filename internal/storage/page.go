@@ -1,0 +1,237 @@
+// Package storage implements the disk format of the DUALSIM reproduction:
+// adjacency lists stored as (v, adj(v)) records in slotted pages, a page
+// file with a vertex directory, and the degree-ordering preprocessing step
+// (an external merge sort, as in Table 3 of the paper). Adjacency lists
+// larger than a page are broken into sublists stored on consecutive pages.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"dualsim/internal/graph"
+)
+
+// PageID identifies a data page. Pages are numbered 0..NumPages-1 and hold
+// vertices in increasing ID order, so P(v) is monotone in v (Lemma 1).
+type PageID uint32
+
+// InvalidPage is a sentinel for "no page".
+const InvalidPage PageID = ^PageID(0)
+
+// Page layout (little endian):
+//
+//	offset 0:  pageID     uint32
+//	offset 4:  recordCnt  uint16
+//	offset 6:  freeStart  uint16 (offset of first free byte in the record area)
+//	offset 8:  checksum   uint32 (IEEE CRC-32 of the page with this field zeroed)
+//	records grow forward from offset 12
+//	slot array grows backward from the page end; slot i (from the end):
+//	    offset uint16, length uint16
+//
+// Record payload:
+//
+//	vertex   uint32
+//	flags    uint8 (bit 0: continues on next page; bit 1: continuation)
+//	reserved uint8
+//	count    uint16 (adjacency entries in this sublist)
+//	entries  count × uint32
+const (
+	pageHeaderSize   = 12
+	checksumOffset   = 8
+	slotSize         = 4
+	recordHeaderSize = 8
+
+	flagContinues    = 1 << 0
+	flagContinuation = 1 << 1
+	flagCompressed   = 1 << 2
+)
+
+// MinPageSize is the smallest supported page size: room for the header, one
+// record with one adjacency entry, and one slot.
+const MinPageSize = pageHeaderSize + recordHeaderSize + 4 + slotSize
+
+// DefaultPageSize is used when BuildOptions.PageSize is zero.
+const DefaultPageSize = 4096
+
+// Record is one (vertex, adjacency sublist) entry parsed from a page.
+type Record struct {
+	Vertex graph.VertexID
+	Adj    []graph.VertexID
+	// Continues is set when the adjacency list continues on the next page.
+	Continues bool
+	// Continuation is set when this sublist continues a previous page's.
+	Continuation bool
+}
+
+// Page is a parsed data page.
+type Page struct {
+	ID      PageID
+	Records []Record
+}
+
+// MaxEntriesPerPage returns how many adjacency entries fit in a fresh page
+// of the given size alongside a single record.
+func MaxEntriesPerPage(pageSize int) int {
+	return (pageSize - pageHeaderSize - recordHeaderSize - slotSize) / 4
+}
+
+// PageWriter assembles one page image.
+type PageWriter struct {
+	buf     []byte
+	id      PageID
+	nrec    int
+	free    int // offset of first free record byte
+	slotTop int // offset of the lowest slot byte
+	scratch []byte
+}
+
+// NewPageWriter returns a writer for a fresh page with the given ID.
+func NewPageWriter(pageSize int, id PageID) *PageWriter {
+	if pageSize < MinPageSize {
+		panic(fmt.Sprintf("storage: page size %d below minimum %d", pageSize, MinPageSize))
+	}
+	w := &PageWriter{buf: make([]byte, pageSize), id: id}
+	w.reset(id)
+	return w
+}
+
+// Reset clears the writer for a new page with the given ID, reusing the
+// underlying buffer.
+func (w *PageWriter) Reset(id PageID) { w.reset(id) }
+
+func (w *PageWriter) reset(id PageID) {
+	for i := range w.buf {
+		w.buf[i] = 0
+	}
+	w.id = id
+	w.nrec = 0
+	w.free = pageHeaderSize
+	w.slotTop = len(w.buf)
+}
+
+// FreeEntryCapacity returns how many adjacency entries a new record added to
+// this page could hold (0 if not even an empty record fits).
+func (w *PageWriter) FreeEntryCapacity() int {
+	space := w.slotTop - w.free - slotSize - recordHeaderSize
+	if space < 0 {
+		return -1
+	}
+	return space / 4
+}
+
+// Add appends a record. It returns false without modifying the page when
+// the record does not fit.
+func (w *PageWriter) Add(v graph.VertexID, adj []graph.VertexID, continues, continuation bool) bool {
+	need := recordHeaderSize + 4*len(adj)
+	if w.free+need+slotSize > w.slotTop {
+		return false
+	}
+	off := w.free
+	binary.LittleEndian.PutUint32(w.buf[off:], uint32(v))
+	var flags byte
+	if continues {
+		flags |= flagContinues
+	}
+	if continuation {
+		flags |= flagContinuation
+	}
+	w.buf[off+4] = flags
+	binary.LittleEndian.PutUint16(w.buf[off+6:], uint16(len(adj)))
+	p := off + recordHeaderSize
+	for _, x := range adj {
+		binary.LittleEndian.PutUint32(w.buf[p:], uint32(x))
+		p += 4
+	}
+	w.free += need
+	w.slotTop -= slotSize
+	binary.LittleEndian.PutUint16(w.buf[w.slotTop:], uint16(off))
+	binary.LittleEndian.PutUint16(w.buf[w.slotTop+2:], uint16(need))
+	w.nrec++
+	return true
+}
+
+// NumRecords returns the number of records added so far.
+func (w *PageWriter) NumRecords() int { return w.nrec }
+
+// Bytes finalizes the header (including the CRC-32 checksum) and returns
+// the page image. The slice aliases the writer's buffer and is invalidated
+// by Reset.
+func (w *PageWriter) Bytes() []byte {
+	binary.LittleEndian.PutUint32(w.buf[0:], uint32(w.id))
+	binary.LittleEndian.PutUint16(w.buf[4:], uint16(w.nrec))
+	binary.LittleEndian.PutUint16(w.buf[6:], uint16(w.free))
+	binary.LittleEndian.PutUint32(w.buf[checksumOffset:], 0)
+	sum := crc32.ChecksumIEEE(w.buf)
+	binary.LittleEndian.PutUint32(w.buf[checksumOffset:], sum)
+	return w.buf
+}
+
+// ParsePage decodes a page image. Adjacency slices are decoded copies and do
+// not alias buf.
+func ParsePage(buf []byte) (*Page, error) {
+	if len(buf) < MinPageSize {
+		return nil, fmt.Errorf("storage: page buffer %d bytes, below minimum %d", len(buf), MinPageSize)
+	}
+	p := &Page{ID: PageID(binary.LittleEndian.Uint32(buf[0:]))}
+	stored := binary.LittleEndian.Uint32(buf[checksumOffset:])
+	binary.LittleEndian.PutUint32(buf[checksumOffset:], 0)
+	sum := crc32.ChecksumIEEE(buf)
+	binary.LittleEndian.PutUint32(buf[checksumOffset:], stored)
+	if sum != stored {
+		return nil, fmt.Errorf("storage: page %d checksum mismatch (stored %08x, computed %08x)", p.ID, stored, sum)
+	}
+	nrec := int(binary.LittleEndian.Uint16(buf[4:]))
+	freeStart := int(binary.LittleEndian.Uint16(buf[6:]))
+	slotBase := len(buf) - nrec*slotSize
+	if slotBase < freeStart || freeStart < pageHeaderSize {
+		return nil, fmt.Errorf("storage: page %d corrupt header (nrec=%d freeStart=%d)", p.ID, nrec, freeStart)
+	}
+	p.Records = make([]Record, 0, nrec)
+	for i := 0; i < nrec; i++ {
+		slotOff := len(buf) - (i+1)*slotSize
+		off := int(binary.LittleEndian.Uint16(buf[slotOff:]))
+		length := int(binary.LittleEndian.Uint16(buf[slotOff+2:]))
+		if off+length > slotBase || off < pageHeaderSize || length < recordHeaderSize {
+			return nil, fmt.Errorf("storage: page %d slot %d out of bounds (off=%d len=%d)", p.ID, i, off, length)
+		}
+		rec := Record{Vertex: graph.VertexID(binary.LittleEndian.Uint32(buf[off:]))}
+		flags := buf[off+4]
+		rec.Continues = flags&flagContinues != 0
+		rec.Continuation = flags&flagContinuation != 0
+		count := int(binary.LittleEndian.Uint16(buf[off+6:]))
+		if flags&flagCompressed != 0 {
+			adj, err := decodeDelta(buf[off+recordHeaderSize:off+length], count)
+			if err != nil {
+				return nil, fmt.Errorf("storage: page %d slot %d: %w", p.ID, i, err)
+			}
+			rec.Adj = adj
+			p.Records = append(p.Records, rec)
+			continue
+		}
+		if recordHeaderSize+4*count != length {
+			return nil, fmt.Errorf("storage: page %d slot %d count %d disagrees with length %d", p.ID, i, count, length)
+		}
+		rec.Adj = make([]graph.VertexID, count)
+		q := off + recordHeaderSize
+		for j := 0; j < count; j++ {
+			rec.Adj[j] = graph.VertexID(binary.LittleEndian.Uint32(buf[q:]))
+			q += 4
+		}
+		p.Records = append(p.Records, rec)
+	}
+	return p, nil
+}
+
+// Vertices returns the distinct vertices that have a record on the page, in
+// record order.
+func (p *Page) Vertices() []graph.VertexID {
+	out := make([]graph.VertexID, 0, len(p.Records))
+	for _, r := range p.Records {
+		if len(out) == 0 || out[len(out)-1] != r.Vertex {
+			out = append(out, r.Vertex)
+		}
+	}
+	return out
+}

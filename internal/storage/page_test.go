@@ -1,0 +1,210 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dualsim/internal/graph"
+)
+
+func TestPageWriterRoundTrip(t *testing.T) {
+	w := NewPageWriter(256, 7)
+	if !w.Add(1, []graph.VertexID{2, 3, 4}, false, false) {
+		t.Fatal("Add failed")
+	}
+	if !w.Add(2, nil, false, false) {
+		t.Fatal("Add empty failed")
+	}
+	if !w.Add(3, []graph.VertexID{9}, true, false) {
+		t.Fatal("Add failed")
+	}
+	p, err := ParsePage(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != 7 {
+		t.Fatalf("page ID = %d, want 7", p.ID)
+	}
+	if len(p.Records) != 3 {
+		t.Fatalf("records = %d, want 3", len(p.Records))
+	}
+	if p.Records[0].Vertex != 1 || !reflect.DeepEqual(p.Records[0].Adj, []graph.VertexID{2, 3, 4}) {
+		t.Fatalf("record 0 = %+v", p.Records[0])
+	}
+	if len(p.Records[1].Adj) != 0 || p.Records[1].Vertex != 2 {
+		t.Fatalf("record 1 = %+v", p.Records[1])
+	}
+	if !p.Records[2].Continues || p.Records[2].Continuation {
+		t.Fatalf("record 2 flags = %+v", p.Records[2])
+	}
+	if got := p.Vertices(); !reflect.DeepEqual(got, []graph.VertexID{1, 2, 3}) {
+		t.Fatalf("Vertices = %v", got)
+	}
+}
+
+func TestPageWriterCapacity(t *testing.T) {
+	const size = 128
+	w := NewPageWriter(size, 0)
+	// Fill until Add refuses; then verify no overflow and parse works.
+	added := 0
+	for i := 0; ; i++ {
+		if !w.Add(graph.VertexID(i), []graph.VertexID{1, 2}, false, false) {
+			break
+		}
+		added++
+	}
+	if added == 0 {
+		t.Fatal("nothing fit in page")
+	}
+	p, err := ParsePage(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Records) != added {
+		t.Fatalf("parsed %d records, added %d", len(p.Records), added)
+	}
+	// Bound check: each record is 16 bytes + 4 slot = 20; page budget 120.
+	want := (size - pageHeaderSize) / (recordHeaderSize + 8 + slotSize)
+	if added != want {
+		t.Fatalf("added %d records, want %d", added, want)
+	}
+}
+
+func TestPageWriterReset(t *testing.T) {
+	w := NewPageWriter(128, 1)
+	w.Add(5, []graph.VertexID{6}, false, false)
+	w.Reset(2)
+	if w.NumRecords() != 0 {
+		t.Fatal("reset did not clear records")
+	}
+	w.Add(7, nil, false, false)
+	p, err := ParsePage(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != 2 || len(p.Records) != 1 || p.Records[0].Vertex != 7 {
+		t.Fatalf("after reset: %+v", p)
+	}
+}
+
+func TestMaxEntriesPerPage(t *testing.T) {
+	n := MaxEntriesPerPage(256)
+	w := NewPageWriter(256, 0)
+	adj := make([]graph.VertexID, n)
+	if !w.Add(0, adj, false, false) {
+		t.Fatalf("MaxEntriesPerPage(256)=%d does not fit", n)
+	}
+	w.Reset(0)
+	if w.Add(0, make([]graph.VertexID, n+1), false, false) {
+		t.Fatalf("%d entries should not fit", n+1)
+	}
+}
+
+func TestParsePageRejectsGarbage(t *testing.T) {
+	if _, err := ParsePage(make([]byte, 4)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	buf := make([]byte, 256)
+	buf[4] = 200 // absurd record count
+	if _, err := ParsePage(buf); err == nil {
+		t.Error("corrupt record count accepted")
+	}
+}
+
+func TestPageRoundTripQuick(t *testing.T) {
+	f := func(vs []uint16, adjLen uint8) bool {
+		w := NewPageWriter(4096, 3)
+		var want []Record
+		for i, raw := range vs {
+			if i >= 8 {
+				break
+			}
+			adj := make([]graph.VertexID, int(adjLen)%20)
+			for j := range adj {
+				adj[j] = graph.VertexID(uint32(raw) + uint32(j))
+			}
+			if !w.Add(graph.VertexID(raw), adj, i%2 == 0, i%3 == 0) {
+				return false
+			}
+			want = append(want, Record{Vertex: graph.VertexID(raw), Adj: adj, Continues: i%2 == 0, Continuation: i%3 == 0})
+		}
+		p, err := ParsePage(w.Bytes())
+		if err != nil {
+			return false
+		}
+		if len(p.Records) != len(want) {
+			return false
+		}
+		for i := range want {
+			g, w := p.Records[i], want[i]
+			if g.Vertex != w.Vertex || g.Continues != w.Continues || g.Continuation != w.Continuation {
+				return false
+			}
+			if len(g.Adj) != len(w.Adj) {
+				return false
+			}
+			for j := range g.Adj {
+				if g.Adj[j] != w.Adj[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	w := NewPageWriter(256, 3)
+	w.Add(1, []graph.VertexID{2, 3}, false, false)
+	img := append([]byte(nil), w.Bytes()...)
+	if _, err := ParsePage(img); err != nil {
+		t.Fatalf("pristine page rejected: %v", err)
+	}
+	// Flip one payload byte: the checksum must catch it.
+	img[pageHeaderSize+2] ^= 0xFF
+	if _, err := ParsePage(img); err == nil {
+		t.Fatal("corrupted page accepted")
+	}
+	// Corrupt the checksum itself.
+	img[pageHeaderSize+2] ^= 0xFF // restore payload
+	img[checksumOffset] ^= 0x01
+	if _, err := ParsePage(img); err == nil {
+		t.Fatal("bad checksum accepted")
+	}
+}
+
+func TestChecksumQuick(t *testing.T) {
+	f := func(seed int64, flip uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewPageWriter(512, PageID(rng.Intn(100)))
+		for i := 0; i < 5; i++ {
+			adj := make([]graph.VertexID, rng.Intn(10))
+			for j := range adj {
+				adj[j] = graph.VertexID(rng.Intn(1000))
+			}
+			if !w.Add(graph.VertexID(rng.Intn(1000)), adj, false, false) {
+				break
+			}
+		}
+		img := append([]byte(nil), w.Bytes()...)
+		if _, err := ParsePage(img); err != nil {
+			return false
+		}
+		// Any single bit flip outside the checksum field must be detected.
+		pos := int(flip) % len(img)
+		if pos >= checksumOffset && pos < checksumOffset+4 {
+			pos = checksumOffset + 4
+		}
+		img[pos] ^= 0x40
+		_, err := ParsePage(img)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
