@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet fmt check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# check is the full pre-commit gate: static analysis plus the race-enabled
+# test suite (the robustness tests exercise concurrent cancellation paths
+# that only -race can vouch for).
+check: vet
+	$(GO) test -race ./...
+
+clean:
+	$(GO) clean ./...

@@ -4,23 +4,39 @@
 // Usage:
 //
 //	dualsim build  -edges edges.txt -db graph.db [-pagesize 4096]
-//	dualsim query  -db graph.db -q q1 [-threads 4] [-buffer 0.15] [-print]
+//	dualsim run    -db graph.db -q q1 [-threads 4] [-buffer 0.15] [-timeout 30s] [-print]
 //	dualsim stats  -db graph.db
 //	dualsim verify -db graph.db
 //	dualsim compare -edges edges.txt -q q4    # DUALSIM vs TTJ vs PSgL
 //
 // Queries are q1 (triangle), q2 (square), q3 (chordal square), q4
 // (4-clique), q5 (house), or an explicit edge list like "0-1,1-2,0-2".
+// "query" is an alias for "run".
+//
+// Exit codes: 0 success, 1 generic error, 2 usage, 3 corruption detected,
+// 4 I/O error, 124 run timed out, 130 interrupted (Ctrl-C).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"dualsim"
+)
+
+// Exit codes beyond the conventional 0/1/2.
+const (
+	exitCorrupt     = 3   // verify/query found corrupt pages
+	exitIO          = 4   // unreadable pages (device trouble)
+	exitTimeout     = 124 // run exceeded -timeout (as in coreutils timeout)
+	exitInterrupted = 130 // canceled by SIGINT (128 + 2)
 )
 
 func main() {
@@ -32,7 +48,7 @@ func main() {
 	switch os.Args[1] {
 	case "build":
 		err = cmdBuild(os.Args[2:])
-	case "query":
+	case "run", "query":
 		err = cmdQuery(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
@@ -50,17 +66,46 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dualsim: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps the error taxonomy onto distinct process exit codes so
+// scripts can tell corruption from device trouble from interruption.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return exitInterrupted
+	case errors.Is(err, context.DeadlineExceeded):
+		return exitTimeout
+	}
+	if _, ok := dualsim.IsCorrupt(err); ok {
+		return exitCorrupt
+	}
+	var ioe *dualsim.IOError
+	if errors.As(err, &ioe) {
+		return exitIO
+	}
+	return 1
+}
+
+// runContext returns a context canceled by SIGINT/SIGTERM, so a Ctrl-C
+// unwinds the engine cleanly (pins released, I/O drained) instead of
+// killing the process mid-read.
+func runContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   dualsim build  -edges <edges.txt> -db <graph.db> [-pagesize N]
-  dualsim query  -db <graph.db> -q <q1..q5|edge list> [-threads N] [-buffer F] [-frames N] [-print]
+  dualsim run    -db <graph.db> -q <q1..q5|edge list> [-threads N] [-buffer F] [-frames N] [-timeout D] [-retries N] [-print]
   dualsim stats  -db <graph.db>
   dualsim verify -db <graph.db>
-  dualsim compare -edges <edges.txt> -q <query> [-workers N] [-mem MiB]`)
+  dualsim compare -edges <edges.txt> -q <query> [-workers N] [-mem MiB]
+
+"query" is an alias for "run". Exit codes: 3 corruption, 4 I/O error,
+124 timeout, 130 interrupted.`)
 }
 
 func cmdBuild(args []string) error {
@@ -113,16 +158,18 @@ func parseQuery(spec string) (*dualsim.Query, error) {
 }
 
 func cmdQuery(args []string) error {
-	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	dbPath := fs.String("db", "", "database path")
 	qspec := fs.String("q", "q1", "query: q1..q5 or edge list 0-1,1-2,...")
 	threads := fs.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 	buffer := fs.Float64("buffer", 0.15, "buffer size as a fraction of the database")
 	frames := fs.Int("frames", 0, "buffer frames (overrides -buffer)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	retries := fs.Int("retries", 0, "retry transient read failures up to N times (0 = no retry layer)")
 	print := fs.Bool("print", false, "print each embedding")
 	fs.Parse(args)
 	if *dbPath == "" {
-		return fmt.Errorf("query: -db is required")
+		return fmt.Errorf("run: -db is required")
 	}
 	q, err := parseQuery(*qspec)
 	if err != nil {
@@ -133,11 +180,22 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	defer db.Close()
-	opts := dualsim.Options{Threads: *threads, BufferFraction: *buffer, BufferFrames: *frames}
+	opts := dualsim.Options{
+		Threads:        *threads,
+		BufferFraction: *buffer,
+		BufferFrames:   *frames,
+		Timeout:        *timeout,
+	}
+	if *retries > 0 {
+		opts.Retry = &dualsim.RetryPolicy{MaxRetries: *retries}
+	}
+
+	ctx, stop := runContext()
+	defer stop()
 
 	var res *dualsim.Result
 	if *print {
-		res, err = db.Enumerate(q, opts, func(m dualsim.Embedding) {
+		res, err = db.EnumerateContext(ctx, q, opts, func(m dualsim.Embedding) {
 			fmt.Println(m)
 		})
 	} else {
@@ -146,7 +204,11 @@ func cmdQuery(args []string) error {
 			return engErr
 		}
 		defer eng.Close()
-		res, err = eng.Run(q)
+		res, err = eng.RunContext(ctx, q)
+		if st := eng.RetryStats(); st.Retries > 0 || st.CRCRereads > 0 {
+			fmt.Fprintf(os.Stderr, "retry layer: %d retries, %d CRC re-reads, %d reads recovered\n",
+				st.Retries, st.CRCRereads, st.Recovered)
+		}
 	}
 	if err != nil {
 		return err
@@ -194,6 +256,24 @@ func cmdVerify(args []string) error {
 		return err
 	}
 	defer db.Close()
+
+	// Physical pass first: every page is read and checksummed, and ALL bad
+	// pages are reported (not just the first), so an operator sees the full
+	// extent of the damage in one run.
+	rep := db.VerifyPages()
+	fmt.Printf("scanned %d pages\n", rep.PagesScanned)
+	for _, ce := range rep.Corrupt {
+		fmt.Printf("page %d: checksum mismatch (stored %08x, computed %08x)\n",
+			ce.Page, ce.StoredCRC, ce.ComputedCRC)
+	}
+	for _, ioe := range rep.IOErrors {
+		fmt.Printf("page %d: unreadable: %v\n", ioe.Page, ioe.Err)
+	}
+	if err := rep.Err(); err != nil {
+		return err
+	}
+
+	// Structural pass: directory spans, record ordering, adjacency bounds.
 	if err := db.Verify(); err != nil {
 		return err
 	}

@@ -23,6 +23,7 @@
 package dualsim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -32,6 +33,32 @@ import (
 	"dualsim/internal/rbi"
 	"dualsim/internal/storage"
 )
+
+// Error taxonomy (see internal/storage): reads fail either because a page's
+// content is wrong (*CorruptPageError) or because it could not be fetched
+// (*IOError, transient or permanent). Classify with errors.As and
+// IsTransient; never parse error strings.
+type (
+	// CorruptPageError reports a page whose content failed validation
+	// (checksum mismatch, mangled header, out-of-bounds slots). It always
+	// names the offending page.
+	CorruptPageError = storage.CorruptPageError
+	// IOError reports a failure to fetch a page from the device.
+	IOError = storage.IOError
+	// RetryPolicy bounds the retry/backoff behaviour of the resilient read
+	// path enabled by Options.Retry.
+	RetryPolicy = storage.RetryPolicy
+	// RetryStats counts the retry layer's recovery activity.
+	RetryStats = storage.RetryStats
+	// VerifyReport summarizes a page-level scan (DB.VerifyPages).
+	VerifyReport = storage.VerifyReport
+)
+
+// IsTransient reports whether err is a read failure worth retrying.
+func IsTransient(err error) bool { return storage.IsTransient(err) }
+
+// IsCorrupt reports whether err carries a *CorruptPageError, and returns it.
+func IsCorrupt(err error) (*CorruptPageError, bool) { return storage.IsCorrupt(err) }
 
 // VertexID identifies a data vertex. After preprocessing, vertex IDs follow
 // the paper's degree-based total order.
@@ -185,6 +212,13 @@ func (d *DB) Degree(v VertexID) int { return d.db.Degree(v) }
 // Verify re-reads the whole database and checks structural invariants.
 func (d *DB) Verify() error { return d.db.VerifyIntegrity() }
 
+// VerifyPages reads and validates every page, collecting all failures by
+// family (corruption vs I/O) instead of stopping at the first.
+func (d *DB) VerifyPages() *VerifyReport { return d.db.VerifyPages() }
+
+// Path returns the path of the underlying database file.
+func (d *DB) Path() string { return d.db.Path() }
+
 // FileStats summarizes the database's physical layout.
 type FileStats struct {
 	Pages         int
@@ -232,6 +266,14 @@ type Options struct {
 	// experiments.
 	PerPageLatency time.Duration
 	SeekLatency    time.Duration
+	// Timeout bounds each run; zero means no deadline. RunContext callers
+	// get whichever is stricter, their context or this.
+	Timeout time.Duration
+	// Retry, when non-nil, turns on the resilient read path: transient
+	// device faults are retried with exponential backoff and jitter, and
+	// checksum mismatches are re-read once (torn-read tolerance) before
+	// surfacing a *CorruptPageError.
+	Retry *RetryPolicy
 }
 
 // Result reports one enumeration run.
@@ -273,6 +315,8 @@ func (d *DB) NewEngine(opt Options) (*Engine, error) {
 		WorstOrder:      opt.WorstOrder,
 		PerPageLatency:  opt.PerPageLatency,
 		SeekLatency:     opt.SeekLatency,
+		Timeout:         opt.Timeout,
+		Retry:           opt.Retry,
 	})
 	if err != nil {
 		return nil, err
@@ -285,7 +329,14 @@ func (e *Engine) Close() { e.eng.Close() }
 
 // Run enumerates q and returns statistics.
 func (e *Engine) Run(q *Query) (*Result, error) {
-	res, err := e.eng.Run(q)
+	return e.RunContext(context.Background(), q)
+}
+
+// RunContext is Run observing ctx: cancellation (or the Options.Timeout
+// deadline) stops the traversal promptly, releases every buffer pin, and
+// returns ctx.Err(). The engine stays usable afterwards.
+func (e *Engine) RunContext(ctx context.Context, q *Query) (*Result, error) {
+	res, err := e.eng.RunContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -300,6 +351,10 @@ func (e *Engine) Count(q *Query) (uint64, error) {
 	}
 	return res.Count, nil
 }
+
+// RetryStats returns the retry layer's recovery counters; the zero value
+// when Options.Retry was not set.
+func (e *Engine) RetryStats() RetryStats { return e.eng.RetryStats() }
 
 func publicResult(res *core.Result) *Result {
 	return &Result{
@@ -324,6 +379,11 @@ type Embedding []VertexID
 // receives its own copy of the embedding and is invoked from a single
 // goroutine at a time.
 func (d *DB) Enumerate(q *Query, opt Options, fn func(Embedding)) (*Result, error) {
+	return d.EnumerateContext(context.Background(), q, opt, fn)
+}
+
+// EnumerateContext is Enumerate observing ctx (see Engine.RunContext).
+func (d *DB) EnumerateContext(ctx context.Context, q *Query, opt Options, fn func(Embedding)) (*Result, error) {
 	mode := rbi.MCVC
 	if opt.UseMVC {
 		mode = rbi.MVC
@@ -338,6 +398,8 @@ func (d *DB) Enumerate(q *Query, opt Options, fn func(Embedding)) (*Result, erro
 		WorstOrder:      opt.WorstOrder,
 		PerPageLatency:  opt.PerPageLatency,
 		SeekLatency:     opt.SeekLatency,
+		Timeout:         opt.Timeout,
+		Retry:           opt.Retry,
 		OnMatch: func(m []graph.VertexID) {
 			cp := make(Embedding, len(m))
 			copy(cp, m)
@@ -350,7 +412,7 @@ func (d *DB) Enumerate(q *Query, opt Options, fn func(Embedding)) (*Result, erro
 		return nil, err
 	}
 	defer eng.Close()
-	res, err := eng.Run(q)
+	res, err := eng.RunContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@
 package buffer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -58,6 +59,7 @@ type frame struct {
 }
 
 type ioRequest struct {
+	ctx context.Context
 	pid storage.PageID
 	cb  func(*storage.Page, error)
 	wg  *sync.WaitGroup
@@ -166,6 +168,18 @@ func (p *Pool) PinnedCount() int {
 // Pin fetches page pid, reading it if absent, and holds it in memory until
 // a matching Unpin. The returned page is shared and must not be modified.
 func (p *Pool) Pin(pid storage.PageID) (*storage.Page, error) {
+	return p.PinContext(context.Background(), pid)
+}
+
+// PinContext is Pin observing cancellation: a canceled context is checked
+// before any work and again before the physical read, so a canceled caller
+// never starts new I/O (an in-flight read is never interrupted — it is one
+// bounded page transfer, and abandoning it would leak the frame). On
+// cancellation the pin is fully released and ctx.Err() returned.
+func (p *Pool) PinContext(ctx context.Context, pid storage.PageID) (*storage.Page, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p.logical.Add(1)
 	p.mu.Lock()
 	if idx, ok := p.table[pid]; ok {
@@ -199,13 +213,15 @@ func (p *Pool) Pin(pid storage.PageID) (*storage.Page, error) {
 	p.table[pid] = idx
 	p.mu.Unlock()
 
-	p.simulateLatency(pid)
-	loadErr := p.reader.ReadPageInto(pid, f.buf)
+	loadErr := p.simulateLatency(ctx, pid)
 	if loadErr == nil {
-		f.page, loadErr = storage.ParsePage(f.buf)
+		loadErr = p.reader.ReadPageInto(pid, f.buf)
+		if loadErr == nil {
+			f.page, loadErr = storage.ParsePage(f.buf)
+		}
+		p.physical.Add(1)
 	}
 	f.err = loadErr
-	p.physical.Add(1)
 	close(f.ready)
 	if loadErr != nil {
 		p.Unpin(pid)
@@ -275,17 +291,31 @@ func (p *Pool) acquireFrameLocked() (int, error) {
 	return 0, ErrNoFreeFrame
 }
 
-func (p *Pool) simulateLatency(pid storage.PageID) {
+// simulateLatency sleeps the configured device delay, waking early (and
+// returning ctx.Err) if the context is canceled mid-sleep.
+func (p *Pool) simulateLatency(ctx context.Context, pid storage.PageID) error {
 	if p.opts.PerPageLatency == 0 && p.opts.SeekLatency == 0 {
-		return
+		return ctx.Err()
 	}
 	last := p.lastRead.Swap(int64(pid))
 	d := p.opts.PerPageLatency
 	if int64(pid) != last+1 {
 		d += p.opts.SeekLatency
 	}
-	if d > 0 {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if ctx.Done() == nil {
 		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -299,6 +329,14 @@ var ErrPoolClosed = errors.New("buffer: pool closed")
 // while further reads proceed. wg, if non-nil, is Done when cb returns.
 // After Close, the callback fires immediately with ErrPoolClosed.
 func (p *Pool) AsyncRead(pid storage.PageID, wg *sync.WaitGroup, cb func(*storage.Page, error)) {
+	p.AsyncReadContext(context.Background(), pid, wg, cb)
+}
+
+// AsyncReadContext is AsyncRead bound to ctx: a request whose context is
+// already canceled when a worker dequeues it is not read — the callback
+// fires with ctx.Err() and no page. This drains queued I/O promptly on
+// cancellation instead of finishing a window's worth of stale reads.
+func (p *Pool) AsyncReadContext(ctx context.Context, pid storage.PageID, wg *sync.WaitGroup, cb func(*storage.Page, error)) {
 	if p.closed.Load() {
 		if cb != nil {
 			cb(nil, ErrPoolClosed)
@@ -308,13 +346,17 @@ func (p *Pool) AsyncRead(pid storage.PageID, wg *sync.WaitGroup, cb func(*storag
 		}
 		return
 	}
-	p.ioq <- ioRequest{pid: pid, cb: cb, wg: wg}
+	p.ioq <- ioRequest{ctx: ctx, pid: pid, cb: cb, wg: wg}
 }
 
 func (p *Pool) ioWorker() {
 	defer p.ioWG.Done()
 	for req := range p.ioq {
-		page, err := p.Pin(req.pid)
+		var page *storage.Page
+		err := req.ctx.Err()
+		if err == nil {
+			page, err = p.PinContext(req.ctx, req.pid)
+		}
 		if req.cb != nil {
 			req.cb(page, err)
 		}

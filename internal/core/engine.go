@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -42,6 +43,13 @@ type Options struct {
 	// PerPageLatency and SeekLatency simulate device characteristics.
 	PerPageLatency time.Duration
 	SeekLatency    time.Duration
+	// Timeout bounds each run; zero means no deadline. RunContext callers
+	// get whichever is stricter, their context or this.
+	Timeout time.Duration
+	// Retry, when non-nil, wraps the page read path in a
+	// storage.RetryReader with this policy, absorbing transient device
+	// faults and torn reads before they reach the engine.
+	Retry *storage.RetryPolicy
 	// OnMatch, when non-nil, is invoked for every embedding with the
 	// mapping m (query vertex -> data vertex). It is called concurrently
 	// from multiple workers and the slice is reused; copy it if retained.
@@ -90,6 +98,7 @@ type Database interface {
 type Engine struct {
 	db      Database
 	pool    *buffer.Pool
+	retry   *storage.RetryReader // non-nil when Options.Retry is set
 	opts    Options
 	frames  int
 	all     []graph.VertexID // every vertex ID, ascending (shared, read-only)
@@ -114,7 +123,15 @@ func NewEngine(db Database, opts Options) (*Engine, error) {
 	if frames < min {
 		frames = min
 	}
-	pool, err := buffer.NewPool(db, buffer.Options{
+	// The retry layer wraps only the page read path handed to the pool;
+	// directory lookups (PageOf/SpanOf/Degree) are in-memory and need none.
+	var reader buffer.PageReader = db
+	var retry *storage.RetryReader
+	if opts.Retry != nil {
+		retry = storage.NewRetryReader(db, *opts.Retry)
+		reader = retry
+	}
+	pool, err := buffer.NewPool(reader, buffer.Options{
 		Frames:         frames,
 		IOWorkers:      opts.IOWorkers,
 		PerPageLatency: opts.PerPageLatency,
@@ -134,7 +151,16 @@ func NewEngine(db Database, opts Options) (*Engine, error) {
 			maxSpan = s
 		}
 	}
-	return &Engine{db: db, pool: pool, opts: opts, frames: frames, all: all, maxSpan: maxSpan}, nil
+	return &Engine{db: db, pool: pool, retry: retry, opts: opts, frames: frames, all: all, maxSpan: maxSpan}, nil
+}
+
+// RetryStats returns the retry layer's recovery counters; the zero value
+// when Options.Retry was not set.
+func (e *Engine) RetryStats() storage.RetryStats {
+	if e.retry == nil {
+		return storage.RetryStats{}
+	}
+	return e.retry.Stats()
 }
 
 // Close releases the engine's buffer pool.
@@ -150,15 +176,33 @@ func (e *Engine) BufferFrames() int { return e.frames }
 // repeatedly; not safe for concurrent Runs on one Engine (the buffer budget
 // is planned per run).
 func (e *Engine) Run(q *graph.Query) (*Result, error) {
+	return e.RunContext(context.Background(), q)
+}
+
+// RunContext is Run observing ctx: cancellation (or the Options.Timeout
+// deadline) stops the traversal at the next window or queued read, releases
+// every pin, and returns ctx.Err(). A run abandoned this way leaves the
+// engine reusable.
+func (e *Engine) RunContext(ctx context.Context, q *graph.Query) (*Result, error) {
 	p, err := plan.Prepare(q, plan.Options{CoverMode: e.opts.CoverMode, WorstOrder: e.opts.WorstOrder})
 	if err != nil {
 		return nil, err
 	}
-	return e.RunPlan(p)
+	return e.RunPlanContext(ctx, p)
 }
 
 // RunPlan executes a prepared plan (exposed for ablations that tweak plans).
 func (e *Engine) RunPlan(p *plan.Plan) (*Result, error) {
+	return e.RunPlanContext(context.Background(), p)
+}
+
+// RunPlanContext is RunPlan observing ctx and Options.Timeout.
+func (e *Engine) RunPlanContext(ctx context.Context, p *plan.Plan) (*Result, error) {
+	if e.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
+		defer cancel()
+	}
 	startExec := time.Now()
 	var alloc []int
 	var err error
@@ -176,6 +220,7 @@ func (e *Engine) RunPlan(p *plan.Plan) (*Result, error) {
 	statsBefore := e.pool.Stats()
 
 	r := &run{
+		ctx:     ctx,
 		e:       e,
 		p:       p,
 		k:       p.K,
@@ -269,6 +314,7 @@ func (e *Engine) Count(q *graph.Query) (uint64, error) {
 
 // run carries the state of one enumeration.
 type run struct {
+	ctx   context.Context
 	e     *Engine
 	p     *plan.Plan
 	k     int

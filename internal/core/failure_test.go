@@ -1,30 +1,31 @@
 package core
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"math/rand"
 	"strings"
-	"sync/atomic"
 	"testing"
+	"time"
 
+	"dualsim/internal/faultdb"
 	"dualsim/internal/graph"
 	"dualsim/internal/storage"
 )
 
-// flakyDB wraps a Database and fails every read after a threshold.
-type flakyDB struct {
-	Database
-	reads     atomic.Int64
-	failAfter int64
-	err       error
+// fastRetry is a retry policy that never sleeps, for deterministic tests.
+func fastRetry(maxRetries, crcRetries int) *storage.RetryPolicy {
+	return &storage.RetryPolicy{
+		MaxRetries: maxRetries,
+		CRCRetries: crcRetries,
+		Sleep:      func(time.Duration) {},
+	}
 }
 
-func (f *flakyDB) ReadPageInto(pid storage.PageID, buf []byte) error {
-	if f.reads.Add(1) > f.failAfter {
-		return f.err
-	}
-	return f.Database.ReadPageInto(pid, buf)
+func wantCount(t *testing.T, g *graph.Graph, q *graph.Query) uint64 {
+	t.Helper()
+	rg, _ := graph.ReorderByDegree(g)
+	return graph.CountOccurrences(rg, q)
 }
 
 func TestEngineSurfacesReadErrors(t *testing.T) {
@@ -35,7 +36,7 @@ func TestEngineSurfacesReadErrors(t *testing.T) {
 
 	// Fail at various points in the run: first read, mid-run, near the end.
 	for _, failAfter := range []int64{0, 3, 25, 200} {
-		fdb := &flakyDB{Database: db, failAfter: failAfter, err: boom}
+		fdb := faultdb.Wrap(db, faultdb.Options{}).FailAfter(failAfter, boom)
 		eng, err := NewEngine(fdb, Options{Threads: 3, BufferFrames: 16})
 		if err != nil {
 			t.Fatal(err)
@@ -60,7 +61,7 @@ func TestEngineRecoversAfterTransientFailure(t *testing.T) {
 	g := randomGraph(rng, 120, 700)
 	db := buildDB(t, g, 256)
 	boom := errors.New("transient failure")
-	fdb := &flakyDB{Database: db, failAfter: 2, err: boom}
+	fdb := faultdb.Wrap(db, faultdb.Options{}).FailAfter(2, boom)
 
 	eng, err := NewEngine(fdb, Options{Threads: 2, BufferFrames: 16})
 	if err != nil {
@@ -72,14 +73,132 @@ func TestEngineRecoversAfterTransientFailure(t *testing.T) {
 	}
 	// Heal the device: the same engine must complete the query correctly
 	// (no leaked pins or stale candidate state).
-	fdb.failAfter = 1 << 60
+	fdb.Heal()
 	res, err := eng.Run(graph.Triangle())
 	if err != nil {
 		t.Fatalf("after healing: %v", err)
 	}
-	rg, _ := graph.ReorderByDegree(g)
-	if want := graph.CountOccurrences(rg, graph.Triangle()); res.Count != want {
+	if want := wantCount(t, g, graph.Triangle()); res.Count != want {
 		t.Fatalf("after healing: count %d, want %d", res.Count, want)
+	}
+}
+
+func TestEngineRetryAbsorbsTransientFaults(t *testing.T) {
+	// A fail-then-heal schedule on several pages must be invisible to the
+	// caller when the retry layer is on: one run, correct count, no manual
+	// re-run.
+	rng := rand.New(rand.NewSource(80))
+	g := randomGraph(rng, 150, 900)
+	db := buildDB(t, g, 128)
+	fdb := faultdb.Wrap(db, faultdb.Options{}).
+		TransientPages(2, 0, 1, storage.PageID(db.NumPages()-1))
+
+	eng, err := NewEngine(fdb, Options{Threads: 2, BufferFrames: 24, Retry: fastRetry(3, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res, err := eng.Run(graph.Triangle())
+	if err != nil {
+		t.Fatalf("run with transient faults: %v", err)
+	}
+	if want := wantCount(t, g, graph.Triangle()); res.Count != want {
+		t.Fatalf("count %d, want %d", res.Count, want)
+	}
+	st := eng.RetryStats()
+	if st.Retries == 0 || st.Recovered == 0 {
+		t.Fatalf("retry layer saw no recoveries: %+v", st)
+	}
+	if st.Exhausted != 0 {
+		t.Fatalf("unexpected exhaustion: %+v", st)
+	}
+}
+
+func TestEngineRetryExhaustion(t *testing.T) {
+	// A page that never heals must exhaust the budget and surface the
+	// transient cause, not hang or succeed.
+	rng := rand.New(rand.NewSource(81))
+	g := randomGraph(rng, 100, 500)
+	db := buildDB(t, g, 256)
+	fdb := faultdb.Wrap(db, faultdb.Options{}).TransientPages(1<<30, 0)
+
+	const maxRetries = 2
+	eng, err := NewEngine(fdb, Options{Threads: 2, BufferFrames: 16, Retry: fastRetry(maxRetries, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	_, err = eng.Run(graph.Triangle())
+	if !errors.Is(err, faultdb.ErrInjected) {
+		t.Fatalf("want the injected cause in the chain, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("error does not name the exhausted budget: %v", err)
+	}
+	if got := fdb.PageReads(0); got != maxRetries+1 {
+		t.Fatalf("page 0 read %d times, want exactly %d (1 + %d retries)", got, maxRetries+1, maxRetries)
+	}
+	if st := eng.RetryStats(); st.Exhausted == 0 {
+		t.Fatalf("exhaustion not counted: %+v", st)
+	}
+}
+
+func TestEngineCorruptPageSurfacesTypedError(t *testing.T) {
+	// A persistently bit-flipped page must surface a *CorruptPageError
+	// naming the page, after exactly the configured CRC re-read budget.
+	rng := rand.New(rand.NewSource(82))
+	g := randomGraph(rng, 100, 500)
+	db := buildDB(t, g, 256)
+	bad := storage.PageID(db.NumPages() / 2)
+	fdb := faultdb.Wrap(db, faultdb.Options{}).BitFlip(bad)
+
+	const crcRetries = 2
+	eng, err := NewEngine(fdb, Options{Threads: 2, BufferFrames: 16, Retry: fastRetry(3, crcRetries)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	_, err = eng.Run(graph.Triangle())
+	ce, ok := storage.IsCorrupt(err)
+	if !ok {
+		t.Fatalf("want *CorruptPageError, got %v", err)
+	}
+	if ce.Page != bad {
+		t.Fatalf("corruption names page %d, want %d", ce.Page, bad)
+	}
+	if ce.StoredCRC == ce.ComputedCRC {
+		t.Fatalf("corruption error carries no CRC evidence: %+v", ce)
+	}
+	if got := fdb.PageReads(bad); got != crcRetries+1 {
+		t.Fatalf("page %d read %d times, want exactly %d (1 + %d CRC re-reads)",
+			bad, got, crcRetries+1, crcRetries)
+	}
+}
+
+func TestEngineTornReadHeals(t *testing.T) {
+	// A one-shot bit flip (torn read) must be healed by the CRC re-read:
+	// the run completes with the correct count.
+	rng := rand.New(rand.NewSource(83))
+	g := randomGraph(rng, 150, 900)
+	db := buildDB(t, g, 128)
+	fdb := faultdb.Wrap(db, faultdb.Options{}).
+		BitFlipOnce(0, storage.PageID(db.NumPages()-1))
+
+	eng, err := NewEngine(fdb, Options{Threads: 2, BufferFrames: 24, Retry: fastRetry(3, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res, err := eng.Run(graph.Triangle())
+	if err != nil {
+		t.Fatalf("run with torn reads: %v", err)
+	}
+	if want := wantCount(t, g, graph.Triangle()); res.Count != want {
+		t.Fatalf("count %d, want %d", res.Count, want)
+	}
+	st := eng.RetryStats()
+	if st.CRCRereads == 0 || st.Recovered == 0 {
+		t.Fatalf("torn reads were not healed by re-reads: %+v", st)
 	}
 }
 
@@ -108,22 +227,181 @@ func TestEngineVertexSpanExceedsBudget(t *testing.T) {
 }
 
 func TestEngineErrorsDoNotPoisonPool(t *testing.T) {
-	// After a failed run, the pool must have zero pinned frames so later
-	// runs see the full buffer.
+	// After a failed or canceled run, the pool must have zero pinned frames
+	// so later runs see the full buffer, and the engine must stay usable.
 	rng := rand.New(rand.NewSource(79))
 	g := randomGraph(rng, 150, 900)
 	db := buildDB(t, g, 128)
-	boom := fmt.Errorf("kaboom")
-	fdb := &flakyDB{Database: db, failAfter: 10, err: boom}
-	eng, err := NewEngine(fdb, Options{Threads: 2, BufferFrames: 14})
+	want := wantCount(t, g, graph.House())
+
+	t.Run("read error", func(t *testing.T) {
+		boom := errors.New("kaboom")
+		fdb := faultdb.Wrap(db, faultdb.Options{}).FailAfter(10, boom)
+		eng, err := NewEngine(fdb, Options{Threads: 2, BufferFrames: 14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		if _, err := eng.Run(graph.House()); err == nil {
+			t.Fatal("expected failure")
+		}
+		if pinned := eng.pool.PinnedCount(); pinned != 0 {
+			t.Fatalf("failed run leaked %d pinned frames", pinned)
+		}
+		fdb.Heal()
+		res, err := eng.Run(graph.House())
+		if err != nil {
+			t.Fatalf("after healing: %v", err)
+		}
+		if res.Count != want {
+			t.Fatalf("after healing: count %d, want %d", res.Count, want)
+		}
+	})
+
+	t.Run("cancellation", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		fdb := faultdb.Wrap(db, faultdb.Options{
+			OnRead: func(n int64, _ storage.PageID) {
+				if n == 8 {
+					cancel()
+				}
+			},
+		})
+		eng, err := NewEngine(fdb, Options{Threads: 2, BufferFrames: 14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		if _, err := eng.RunContext(ctx, graph.House()); !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		if pinned := eng.pool.PinnedCount(); pinned != 0 {
+			t.Fatalf("canceled run leaked %d pinned frames", pinned)
+		}
+		res, err := eng.Run(graph.House())
+		if err != nil {
+			t.Fatalf("after cancellation: %v", err)
+		}
+		if res.Count != want {
+			t.Fatalf("after cancellation: count %d, want %d", res.Count, want)
+		}
+	})
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	g := randomGraph(rng, 100, 500)
+	db := buildDB(t, g, 256)
+	fdb := faultdb.Wrap(db, faultdb.Options{})
+	eng, err := NewEngine(fdb, Options{Threads: 2, BufferFrames: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
-	if _, err := eng.Run(graph.House()); err == nil {
-		t.Fatal("expected failure")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.RunContext(ctx, graph.Triangle()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if reads := fdb.Reads(); reads != 0 {
+		t.Fatalf("pre-canceled run performed %d reads", reads)
 	}
 	if pinned := eng.pool.PinnedCount(); pinned != 0 {
-		t.Fatalf("failed run leaked %d pinned frames", pinned)
+		t.Fatalf("pre-canceled run leaked %d pinned frames", pinned)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	// Cancel during the traversal at several points; every variant must
+	// return context.Canceled with zero pinned frames and drained I/O.
+	rng := rand.New(rand.NewSource(85))
+	g := randomGraph(rng, 200, 1400)
+	db := buildDB(t, g, 128)
+
+	for _, cancelAt := range []int64{1, 5, 20, 60} {
+		ctx, cancel := context.WithCancel(context.Background())
+		fdb := faultdb.Wrap(db, faultdb.Options{
+			OnRead: func(n int64, _ storage.PageID) {
+				if n == cancelAt {
+					cancel()
+				}
+			},
+		})
+		eng, err := NewEngine(fdb, Options{Threads: 3, BufferFrames: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = eng.RunContext(ctx, graph.Clique4())
+		if err == nil {
+			// Legitimate only if the run finished in under cancelAt reads.
+			if fdb.Reads() >= cancelAt {
+				t.Fatalf("cancelAt=%d: run succeeded despite cancellation", cancelAt)
+			}
+		} else if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelAt=%d: want context.Canceled, got %v", cancelAt, err)
+		}
+		if pinned := eng.pool.PinnedCount(); pinned != 0 {
+			t.Fatalf("cancelAt=%d: leaked %d pinned frames", cancelAt, pinned)
+		}
+		eng.Close()
+		cancel()
+	}
+}
+
+func TestOptionsTimeout(t *testing.T) {
+	// A latency spike that makes the run exceed Options.Timeout must turn
+	// into context.DeadlineExceeded, with the pool clean afterwards.
+	rng := rand.New(rand.NewSource(86))
+	g := randomGraph(rng, 200, 1400)
+	db := buildDB(t, g, 128)
+	fdb := faultdb.Wrap(db, faultdb.Options{}).Latency(5*time.Millisecond, 1)
+
+	eng, err := NewEngine(fdb, Options{Threads: 2, BufferFrames: 16, Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	_, err = eng.Run(graph.Clique4())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if pinned := eng.pool.PinnedCount(); pinned != 0 {
+		t.Fatalf("timed-out run leaked %d pinned frames", pinned)
+	}
+}
+
+func TestEngineCancellationUnderFaultLoad(t *testing.T) {
+	// Cancellation racing injected transient faults and retries: whatever
+	// interleaving occurs, the run ends with a clean pool and either the
+	// cancellation or an injected failure.
+	rng := rand.New(rand.NewSource(87))
+	g := randomGraph(rng, 200, 1400)
+	db := buildDB(t, g, 128)
+
+	for trial := int64(0); trial < 4; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		fdb := faultdb.Wrap(db, faultdb.Options{
+			Seed: trial + 1,
+			OnRead: func(n int64, _ storage.PageID) {
+				if n == 10+trial*7 {
+					cancel()
+				}
+			},
+		}).FailRandom(0.2, nil)
+		eng, err := NewEngine(fdb, Options{Threads: 3, BufferFrames: 16, Retry: fastRetry(2, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = eng.RunContext(ctx, graph.Triangle())
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, faultdb.ErrInjected) {
+			t.Fatalf("trial %d: unexpected error %v", trial, err)
+		}
+		if pinned := eng.pool.PinnedCount(); pinned != 0 {
+			t.Fatalf("trial %d: leaked %d pinned frames", trial, pinned)
+		}
+		eng.Close()
+		cancel()
 	}
 }

@@ -122,6 +122,9 @@ func (r *run) extMapPage(page *storage.Page, lw *levelWindow) {
 		if rec.Continues || rec.Continuation {
 			continue // handled by dispatchSplitVertices after the window loads
 		}
+		if r.ctx.Err() != nil {
+			break // cancellation: abandon the rest of the page
+		}
 		r.extMapRecord(m, rec.Vertex, rec.Adj)
 	}
 	m.flush()
@@ -254,6 +257,9 @@ func (r *run) internalEnumerate(g int, verts []graph.VertexID, lw *levelWindow) 
 	m.g = g
 	pos0 := r.p.MatchingOrder[0]
 	for _, v := range verts {
+		if r.ctx.Err() != nil {
+			break // cancellation: abandon the rest of the chunk
+		}
 		m.pos2v[pos0] = v
 		m.posMask = 1 << uint(pos0)
 		r.intDescend(m, 1)

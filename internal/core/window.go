@@ -39,6 +39,13 @@ func (r *run) processLevel(l int) error {
 	merged := r.mergedCandidates(l)
 	iter := windowIterator{r: r, level: l, merged: merged}
 	for iter.next() {
+		// Cancellation gate: every window iteration at every level checks
+		// the run's context, so a cancel stops the traversal within one
+		// window regardless of depth.
+		if err := r.ctx.Err(); err != nil {
+			r.fail(err)
+			return err
+		}
 		if err := r.firstErr(); err != nil {
 			return err
 		}
@@ -234,7 +241,7 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 		r.pathPinned[pid]++
 		wg.Add(1)
 		pid := pid
-		r.e.pool.AsyncRead(pid, &wg, func(page *storage.Page, err error) {
+		r.e.pool.AsyncReadContext(r.ctx, pid, &wg, func(page *storage.Page, err error) {
 			if err != nil {
 				r.fail(err)
 				return

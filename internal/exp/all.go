@@ -34,6 +34,7 @@ func Experiments() []Experiment {
 		{"evolving", "evolving-graph degradation", TableEvolving},
 		{"failures", "failure boundary under proportional worker memory", TableFailureBoundary},
 		{"costmodel", "Equation 1 predicted vs measured reads", TableCostModel},
+		{"faultmatrix", "engine outcome per fault schedule x retry policy", TableFaultMatrix},
 	}
 }
 

@@ -123,8 +123,8 @@ func TestEstimators(t *testing.T) {
 }
 
 func TestByNameAndExperimentList(t *testing.T) {
-	if len(Experiments()) != 17 {
-		t.Fatalf("experiments = %d, want 17", len(Experiments()))
+	if len(Experiments()) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(Experiments()))
 	}
 	if _, err := ByName("fig9"); err != nil {
 		t.Error(err)
@@ -198,6 +198,54 @@ func TestFailureBoundaryExperiment(t *testing.T) {
 			if cell == "WRONG COUNT" {
 				t.Errorf("count mismatch in %v", row)
 			}
+		}
+	}
+}
+
+func TestFaultMatrixExperiment(t *testing.T) {
+	env := tinyEnv(t)
+	tbl, err := TableFaultMatrix(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (6 schedules x 2 policies)", len(tbl.Rows))
+	}
+	byCell := func(schedule, policy string) []string {
+		for _, row := range tbl.Rows {
+			if row[0] == schedule && row[1] == policy {
+				return row
+			}
+		}
+		t.Fatalf("no row for %q/%q", schedule, policy)
+		return nil
+	}
+	// The clean schedule succeeds under both policies.
+	for _, policy := range []string{"none", "retry(4, crc 2)"} {
+		if row := byCell("clean", policy); row[2] != "ok" {
+			t.Errorf("clean/%s outcome = %q", policy, row[2])
+		}
+	}
+	// Transient and torn-read schedules heal only behind the retry layer.
+	for _, schedule := range []string{"transient x2 (2 pages)", "torn read (1 page)"} {
+		if row := byCell(schedule, "retry(4, crc 2)"); row[2] != "ok" {
+			t.Errorf("%s should heal under retry, got %q", schedule, row[2])
+		}
+		if row := byCell(schedule, "none"); row[2] == "ok" {
+			t.Errorf("%s should fail without retry", schedule)
+		}
+	}
+	// Persistent corruption defeats the retry budget and names the page.
+	for _, policy := range []string{"none", "retry(4, crc 2)"} {
+		row := byCell("persistent bit flip", policy)
+		if !strings.HasPrefix(row[2], "corrupt (page ") {
+			t.Errorf("persistent flip/%s outcome = %q", policy, row[2])
+		}
+	}
+	// A dead device is not retryable to success.
+	for _, policy := range []string{"none", "retry(4, crc 2)"} {
+		if row := byCell("device died (after 10 reads)", policy); row[2] == "ok" {
+			t.Errorf("dead device succeeded under %s", policy)
 		}
 	}
 }

@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"time"
+
+	"dualsim/internal/core"
+	"dualsim/internal/faultdb"
+	"dualsim/internal/graph"
+	"dualsim/internal/storage"
+)
+
+// TableFaultMatrix crosses fault schedules with retry policies: each row
+// runs q1 over a fault-injected database and reports whether the engine
+// survived, what error family surfaced when it did not, and what the
+// retry layer spent absorbing the faults. It demonstrates the resilient
+// read path end to end — transient faults and torn reads vanish behind
+// the retry layer, persistent corruption surfaces as a typed error naming
+// the page, and the bare engine (no retry layer) fails fast on all of it.
+func TableFaultMatrix(e *Env) (*Table, error) {
+	const name = "WG"
+	db, _, err := e.DB(name)
+	if err != nil {
+		return nil, err
+	}
+	q := graph.Triangle()
+
+	// Reference run against the clean database.
+	ref, err := e.DualSim(name, q)
+	if err != nil {
+		return nil, err
+	}
+
+	last := storage.PageID(db.NumPages() - 1)
+	schedules := []struct {
+		name  string
+		apply func(f *faultdb.DB) *faultdb.DB
+	}{
+		{"clean", func(f *faultdb.DB) *faultdb.DB { return f }},
+		{"transient x2 (2 pages)", func(f *faultdb.DB) *faultdb.DB {
+			return f.TransientPages(2, 0, last)
+		}},
+		{"torn read (1 page)", func(f *faultdb.DB) *faultdb.DB {
+			return f.BitFlipOnce(last / 2)
+		}},
+		{"random transient p=0.05", func(f *faultdb.DB) *faultdb.DB {
+			return f.FailRandom(0.05, nil)
+		}},
+		{"persistent bit flip", func(f *faultdb.DB) *faultdb.DB {
+			return f.BitFlip(last / 2)
+		}},
+		{"device died (after 10 reads)", func(f *faultdb.DB) *faultdb.DB {
+			return f.FailAfter(10, nil)
+		}},
+	}
+	policies := []struct {
+		name   string
+		policy *storage.RetryPolicy
+	}{
+		{"none", nil},
+		{"retry(4, crc 2)", &storage.RetryPolicy{
+			MaxRetries: 4,
+			CRCRetries: 2,
+			Sleep:      func(time.Duration) {}, // keep the matrix fast
+		}},
+	}
+
+	t := &Table{
+		ID:     "FaultMatrix",
+		Title:  "Engine outcome per fault schedule x retry policy (WG, q1)",
+		Header: []string{"schedule", "retry", "outcome", "reads", "injected", "retries", "crc re-reads"},
+		Notes: []string{
+			"transient and torn-read schedules complete under the retry layer with the clean-run count",
+			"persistent corruption and dead devices fail fast with a typed error naming the page",
+		},
+	}
+	for _, s := range schedules {
+		for _, p := range policies {
+			fdb := s.apply(faultdb.Wrap(db, faultdb.Options{Seed: 42}))
+			eng, err := core.NewEngine(fdb, core.Options{
+				Threads:        e.Cfg.Threads,
+				BufferFraction: e.Cfg.BufferFraction,
+				Retry:          p.policy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, runErr := eng.Run(q)
+			rs := eng.RetryStats()
+			eng.Close()
+
+			outcome := describeOutcome(res, runErr, ref.Count)
+			st := fdb.Stats()
+			t.AddRow(s.name, p.name, outcome,
+				fmtCount(uint64(st.Reads)), fmtCount(uint64(st.Injected)),
+				fmtCount(uint64(rs.Retries)), fmtCount(uint64(rs.CRCRereads)))
+		}
+	}
+	return t, nil
+}
+
+// describeOutcome classifies a fault-injected run by the error taxonomy.
+func describeOutcome(res *core.Result, err error, want uint64) string {
+	switch {
+	case err == nil && res.Count == want:
+		return "ok"
+	case err == nil:
+		return "WRONG COUNT"
+	default:
+		if ce, ok := storage.IsCorrupt(err); ok {
+			return "corrupt (page " + fmtCount(uint64(ce.Page)) + ")"
+		}
+		if storage.IsTransient(err) {
+			return "fail (transient io)"
+		}
+		return "fail (io)"
+	}
+}

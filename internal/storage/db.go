@@ -2,6 +2,7 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -102,6 +103,9 @@ func Open(path string) (*DB, error) {
 // Close releases the underlying file.
 func (db *DB) Close() error { return db.f.Close() }
 
+// Path returns the path of the underlying database file.
+func (db *DB) Path() string { return db.f.Name() }
+
 // PageSize returns the page size in bytes.
 func (db *DB) PageSize() int { return int(db.sb.pageSize) }
 
@@ -133,14 +137,14 @@ func (db *DB) Degree(v graph.VertexID) int { return int(db.dir[v].Degree) }
 // PageSize() bytes. It uses positional I/O and is safe for concurrent use.
 func (db *DB) ReadPageInto(pid PageID, buf []byte) error {
 	if int(pid) >= db.NumPages() {
-		return fmt.Errorf("storage: page %d out of range [0,%d)", pid, db.NumPages())
+		return &IOError{Page: pid, Op: "read", Err: fmt.Errorf("page out of range [0,%d)", db.NumPages())}
 	}
 	if len(buf) != db.PageSize() {
 		return fmt.Errorf("storage: buffer %d bytes, want %d", len(buf), db.PageSize())
 	}
 	off := int64(db.sb.pageSize) * (int64(pid) + 1)
 	if _, err := db.f.ReadAt(buf, off); err != nil {
-		return fmt.Errorf("storage: read page %d: %w", pid, err)
+		return &IOError{Page: pid, Op: "read", Err: err, Transient: transientSyscall(err)}
 	}
 	return nil
 }
@@ -267,6 +271,59 @@ func (db *DB) VerifyIntegrity() error {
 	return nil
 }
 
+// VerifyReport summarizes a page-level database scan: how many pages were
+// read and which failed, split by failure family so tools can distinguish
+// corruption (bad content) from I/O trouble (unreadable device).
+type VerifyReport struct {
+	// PagesScanned is the number of pages the scan attempted.
+	PagesScanned int
+	// Corrupt lists every page whose content failed validation, by page.
+	Corrupt []*CorruptPageError
+	// IOErrors lists every page that could not be read at all.
+	IOErrors []*IOError
+}
+
+// Err returns the scan's most significant failure: the first corruption if
+// any, else the first I/O error, else nil.
+func (r *VerifyReport) Err() error {
+	if len(r.Corrupt) > 0 {
+		return r.Corrupt[0]
+	}
+	if len(r.IOErrors) > 0 {
+		return r.IOErrors[0]
+	}
+	return nil
+}
+
+// VerifyPages reads and validates every page, collecting all failures
+// instead of stopping at the first (a corrupt page must not hide later
+// ones). Structural invariants across pages are VerifyIntegrity's job.
+func (db *DB) VerifyPages() *VerifyReport {
+	rep := &VerifyReport{}
+	buf := make([]byte, db.PageSize())
+	for pid := 0; pid < db.NumPages(); pid++ {
+		rep.PagesScanned++
+		if err := db.ReadPageInto(PageID(pid), buf); err != nil {
+			var ioe *IOError
+			if errors.As(err, &ioe) {
+				rep.IOErrors = append(rep.IOErrors, ioe)
+			} else {
+				rep.IOErrors = append(rep.IOErrors, &IOError{Page: PageID(pid), Op: "read", Err: err})
+			}
+			continue
+		}
+		if _, err := ParsePage(buf); err != nil {
+			var ce *CorruptPageError
+			if errors.As(err, &ce) {
+				rep.Corrupt = append(rep.Corrupt, ce)
+			} else {
+				rep.Corrupt = append(rep.Corrupt, &CorruptPageError{Page: PageID(pid), Reason: err.Error()})
+			}
+		}
+	}
+	return rep
+}
+
 var _ io.Closer = (*DB)(nil)
 
 // FileStats summarizes the physical layout of a database.
@@ -299,10 +356,11 @@ func (db *DB) Stats() (*FileStats, error) {
 			if r.Continues || r.Continuation {
 				split[r.Vertex] = true
 			}
-			usedBytes += int64(recordHeaderSize + slotSize)
+			// Slot array bytes (the record area is accounted via freeStart).
+			usedBytes += int64(slotSize)
 		}
-		// Payload: freeStart is a reliable fill measure.
-		usedBytes += int64(int(buf[6]) | int(buf[7])<<8 - pageHeaderSize)
+		// Record area: freeStart covers headers and payload of every record.
+		usedBytes += int64(int(binary.LittleEndian.Uint16(buf[6:])) - pageHeaderSize)
 	}
 	st.SplitVertices = len(split)
 	if availBytes > 0 {

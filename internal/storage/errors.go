@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"syscall"
+)
+
+// The storage error taxonomy splits read failures into two families:
+//
+//   - *CorruptPageError: the page was fetched but its content is wrong —
+//     CRC mismatch, mangled header, out-of-bounds slots. Corruption is
+//     permanent (modulo one torn-read re-read, see RetryReader) and always
+//     names the offending page.
+//   - *IOError: the page could not be fetched at all — device errors,
+//     out-of-range requests, injected faults. An IOError is either
+//     transient (worth retrying: EINTR/EAGAIN-style hiccups, injected
+//     transient faults) or permanent (fail fast: out-of-range page,
+//     unrecoverable device errors).
+//
+// Callers classify with errors.As and IsTransient; they never parse
+// error strings.
+
+// CorruptPageError reports a page whose content failed validation.
+type CorruptPageError struct {
+	// Page is the ID of the corrupt page.
+	Page PageID
+	// StoredCRC and ComputedCRC are set when the checksum mismatched;
+	// both are zero for structural corruption found after the CRC passed.
+	StoredCRC   uint32
+	ComputedCRC uint32
+	// Reason describes the failure ("checksum mismatch", "slot 3 out of
+	// bounds", ...).
+	Reason string
+}
+
+func (e *CorruptPageError) Error() string {
+	if e.StoredCRC != e.ComputedCRC {
+		return fmt.Sprintf("storage: page %d corrupt: %s (stored %08x, computed %08x)",
+			e.Page, e.Reason, e.StoredCRC, e.ComputedCRC)
+	}
+	return fmt.Sprintf("storage: page %d corrupt: %s", e.Page, e.Reason)
+}
+
+// IOError reports a failure to fetch a page from the underlying device.
+type IOError struct {
+	// Page is the page being read.
+	Page PageID
+	// Op is the operation ("read").
+	Op string
+	// Err is the underlying cause.
+	Err error
+	// Transient marks errors worth retrying (see IsTransient).
+	Transient bool
+}
+
+func (e *IOError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("storage: %s page %d: %s I/O error: %v", e.Op, e.Page, kind, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *IOError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is a read failure worth retrying: a
+// transient *IOError anywhere in the chain, or any error implementing
+// Transient() bool that reports true. Corruption and unknown errors are
+// not transient — they fail fast.
+func IsTransient(err error) bool {
+	var ioe *IOError
+	if errors.As(err, &ioe) {
+		return ioe.Transient
+	}
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}
+
+// IsCorrupt reports whether err carries a *CorruptPageError, and returns it.
+func IsCorrupt(err error) (*CorruptPageError, bool) {
+	var ce *CorruptPageError
+	if errors.As(err, &ce) {
+		return ce, true
+	}
+	return nil, false
+}
+
+// NewTransientError wraps cause as a transient read error for pid. Used by
+// fault injectors and device shims.
+func NewTransientError(pid PageID, cause error) *IOError {
+	return &IOError{Page: pid, Op: "read", Err: cause, Transient: true}
+}
+
+// transientSyscall reports OS-level errors that a retry can plausibly clear.
+func transientSyscall(err error) bool {
+	return errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EBUSY)
+}
+
+// pageChecksum computes the page CRC with the checksum field treated as
+// zero, without allocating. buf is restored before returning.
+func pageChecksum(buf []byte) uint32 {
+	var saved [4]byte
+	copy(saved[:], buf[checksumOffset:checksumOffset+4])
+	buf[checksumOffset] = 0
+	buf[checksumOffset+1] = 0
+	buf[checksumOffset+2] = 0
+	buf[checksumOffset+3] = 0
+	sum := crc32.ChecksumIEEE(buf)
+	copy(buf[checksumOffset:checksumOffset+4], saved[:])
+	return sum
+}
+
+// VerifyPageChecksum checks buf's CRC-32 without parsing records. On
+// mismatch it returns a *CorruptPageError naming the page claimed by the
+// header. A nil return means only that the image is internally consistent.
+func VerifyPageChecksum(buf []byte) error {
+	if len(buf) < MinPageSize {
+		return fmt.Errorf("storage: page buffer %d bytes, below minimum %d", len(buf), MinPageSize)
+	}
+	stored := uint32(buf[checksumOffset]) | uint32(buf[checksumOffset+1])<<8 |
+		uint32(buf[checksumOffset+2])<<16 | uint32(buf[checksumOffset+3])<<24
+	if sum := pageChecksum(buf); sum != stored {
+		return &CorruptPageError{
+			Page:        PageID(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24),
+			StoredCRC:   stored,
+			ComputedCRC: sum,
+			Reason:      "checksum mismatch",
+		}
+	}
+	return nil
+}

@@ -176,17 +176,14 @@ func ParsePage(buf []byte) (*Page, error) {
 	}
 	p := &Page{ID: PageID(binary.LittleEndian.Uint32(buf[0:]))}
 	stored := binary.LittleEndian.Uint32(buf[checksumOffset:])
-	binary.LittleEndian.PutUint32(buf[checksumOffset:], 0)
-	sum := crc32.ChecksumIEEE(buf)
-	binary.LittleEndian.PutUint32(buf[checksumOffset:], stored)
-	if sum != stored {
-		return nil, fmt.Errorf("storage: page %d checksum mismatch (stored %08x, computed %08x)", p.ID, stored, sum)
+	if sum := pageChecksum(buf); sum != stored {
+		return nil, &CorruptPageError{Page: p.ID, StoredCRC: stored, ComputedCRC: sum, Reason: "checksum mismatch"}
 	}
 	nrec := int(binary.LittleEndian.Uint16(buf[4:]))
 	freeStart := int(binary.LittleEndian.Uint16(buf[6:]))
 	slotBase := len(buf) - nrec*slotSize
 	if slotBase < freeStart || freeStart < pageHeaderSize {
-		return nil, fmt.Errorf("storage: page %d corrupt header (nrec=%d freeStart=%d)", p.ID, nrec, freeStart)
+		return nil, &CorruptPageError{Page: p.ID, Reason: fmt.Sprintf("corrupt header (nrec=%d freeStart=%d)", nrec, freeStart)}
 	}
 	p.Records = make([]Record, 0, nrec)
 	for i := 0; i < nrec; i++ {
@@ -194,7 +191,7 @@ func ParsePage(buf []byte) (*Page, error) {
 		off := int(binary.LittleEndian.Uint16(buf[slotOff:]))
 		length := int(binary.LittleEndian.Uint16(buf[slotOff+2:]))
 		if off+length > slotBase || off < pageHeaderSize || length < recordHeaderSize {
-			return nil, fmt.Errorf("storage: page %d slot %d out of bounds (off=%d len=%d)", p.ID, i, off, length)
+			return nil, &CorruptPageError{Page: p.ID, Reason: fmt.Sprintf("slot %d out of bounds (off=%d len=%d)", i, off, length)}
 		}
 		rec := Record{Vertex: graph.VertexID(binary.LittleEndian.Uint32(buf[off:]))}
 		flags := buf[off+4]
@@ -204,14 +201,14 @@ func ParsePage(buf []byte) (*Page, error) {
 		if flags&flagCompressed != 0 {
 			adj, err := decodeDelta(buf[off+recordHeaderSize:off+length], count)
 			if err != nil {
-				return nil, fmt.Errorf("storage: page %d slot %d: %w", p.ID, i, err)
+				return nil, &CorruptPageError{Page: p.ID, Reason: fmt.Sprintf("slot %d: %v", i, err)}
 			}
 			rec.Adj = adj
 			p.Records = append(p.Records, rec)
 			continue
 		}
 		if recordHeaderSize+4*count != length {
-			return nil, fmt.Errorf("storage: page %d slot %d count %d disagrees with length %d", p.ID, i, count, length)
+			return nil, &CorruptPageError{Page: p.ID, Reason: fmt.Sprintf("slot %d count %d disagrees with length %d", i, count, length)}
 		}
 		rec.Adj = make([]graph.VertexID, count)
 		q := off + recordHeaderSize

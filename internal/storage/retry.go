@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PageSource is the minimal page-fetch interface RetryReader wraps.
+// *DB implements it, as does any fault-injecting test double.
+type PageSource interface {
+	ReadPageInto(pid PageID, buf []byte) error
+	PageSize() int
+	NumPages() int
+}
+
+// RetryPolicy bounds the retry behaviour of a RetryReader.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after a transient read
+	// failure (default 3). Permanent errors are never retried.
+	MaxRetries int
+	// CRCRetries is the number of re-reads after a checksum mismatch
+	// before declaring the page corrupt (default 1, tolerating one torn
+	// read of a page being written concurrently).
+	CRCRetries int
+	// BaseDelay is the first backoff delay (default 1ms). Successive
+	// retries double it up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 100ms).
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay randomized away (default 0.5:
+	// a delay d becomes d/2 + rand(d/2)), decorrelating concurrent
+	// retriers.
+	Jitter float64
+	// Seed makes the jitter deterministic; 0 seeds from 1.
+	Seed int64
+	// Sleep replaces time.Sleep, letting tests run without waiting.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.CRCRetries == 0 {
+		p.CRCRetries = 1
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// RetryStats counts a RetryReader's recovery activity.
+type RetryStats struct {
+	// Reads is the number of ReadPageInto calls served.
+	Reads uint64
+	// Retries is the number of transient-failure re-attempts issued.
+	Retries uint64
+	// CRCRereads is the number of checksum-mismatch re-reads issued.
+	CRCRereads uint64
+	// Recovered counts reads that failed at least once but ultimately
+	// succeeded.
+	Recovered uint64
+	// Exhausted counts reads that failed even after the full budget.
+	Exhausted uint64
+}
+
+// RetryReader wraps a PageSource with bounded retries: transient read
+// failures back off exponentially (with jitter) up to MaxRetries, and a
+// checksum mismatch is re-read up to CRCRetries times (torn-read
+// tolerance) before surfacing a *CorruptPageError. Permanent errors —
+// out-of-range pages, unrecoverable device errors, repeated CRC failure —
+// fail fast with the offending page identified. Safe for concurrent use.
+type RetryReader struct {
+	src    PageSource
+	policy RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	reads      atomic.Uint64
+	retries    atomic.Uint64
+	crcRereads atomic.Uint64
+	recovered  atomic.Uint64
+	exhausted  atomic.Uint64
+}
+
+// NewRetryReader wraps src with the given policy (zero fields take
+// defaults).
+func NewRetryReader(src PageSource, policy RetryPolicy) *RetryReader {
+	p := policy.withDefaults()
+	return &RetryReader{src: src, policy: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// PageSize implements PageSource.
+func (r *RetryReader) PageSize() int { return r.src.PageSize() }
+
+// NumPages implements PageSource.
+func (r *RetryReader) NumPages() int { return r.src.NumPages() }
+
+// Stats returns a snapshot of the recovery counters.
+func (r *RetryReader) Stats() RetryStats {
+	return RetryStats{
+		Reads:      r.reads.Load(),
+		Retries:    r.retries.Load(),
+		CRCRereads: r.crcRereads.Load(),
+		Recovered:  r.recovered.Load(),
+		Exhausted:  r.exhausted.Load(),
+	}
+}
+
+// backoff returns the jittered delay for the given attempt (0-based).
+func (r *RetryReader) backoff(attempt int) time.Duration {
+	d := r.policy.BaseDelay << uint(attempt)
+	if d > r.policy.MaxDelay || d <= 0 {
+		d = r.policy.MaxDelay
+	}
+	jit := time.Duration(float64(d) * r.policy.Jitter)
+	if jit > 0 {
+		r.mu.Lock()
+		d = d - jit + time.Duration(r.rng.Int63n(int64(jit)+1))
+		r.mu.Unlock()
+	}
+	return d
+}
+
+// ReadPageInto implements PageSource: it fetches pid into buf, verifying
+// the page checksum, retrying per the policy.
+func (r *RetryReader) ReadPageInto(pid PageID, buf []byte) error {
+	r.reads.Add(1)
+	transientTries := 0
+	crcTries := 0
+	failed := false
+	for {
+		err := r.src.ReadPageInto(pid, buf)
+		if err == nil {
+			cerr := VerifyPageChecksum(buf)
+			if cerr == nil {
+				if failed {
+					r.recovered.Add(1)
+				}
+				return nil
+			}
+			failed = true
+			if crcTries < r.policy.CRCRetries {
+				// Torn-read tolerance: re-read once (or per policy) before
+				// declaring the page corrupt.
+				crcTries++
+				r.crcRereads.Add(1)
+				continue
+			}
+			r.exhausted.Add(1)
+			return cerr
+		}
+		failed = true
+		if !IsTransient(err) {
+			return err
+		}
+		if transientTries >= r.policy.MaxRetries {
+			r.exhausted.Add(1)
+			return fmt.Errorf("storage: page %d: retry budget exhausted after %d attempts: %w",
+				pid, transientTries+1, err)
+		}
+		r.policy.Sleep(r.backoff(transientTries))
+		transientTries++
+		r.retries.Add(1)
+	}
+}

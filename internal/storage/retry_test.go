@@ -1,0 +1,400 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"dualsim/internal/graph"
+)
+
+// scriptedSource is a PageSource whose reads follow a per-call script.
+type scriptedSource struct {
+	pageSize int
+	numPages int
+	image    []byte // served on successful reads
+
+	mu     sync.Mutex
+	reads  int
+	script []func(buf []byte) error // script[i] governs read i; past the end: success
+}
+
+func newScriptedSource(t *testing.T) *scriptedSource {
+	t.Helper()
+	w := NewPageWriter(MinPageSize, 7)
+	if !w.Add(graph.VertexID(3), []graph.VertexID{5}, false, false) {
+		t.Fatal("record does not fit")
+	}
+	img := make([]byte, MinPageSize)
+	copy(img, w.Bytes())
+	return &scriptedSource{pageSize: MinPageSize, numPages: 8, image: img}
+}
+
+func (s *scriptedSource) ReadPageInto(pid PageID, buf []byte) error {
+	s.mu.Lock()
+	i := s.reads
+	s.reads++
+	var step func([]byte) error
+	if i < len(s.script) {
+		step = s.script[i]
+	}
+	s.mu.Unlock()
+	if step != nil {
+		return step(buf)
+	}
+	copy(buf, s.image)
+	return nil
+}
+
+func (s *scriptedSource) PageSize() int { return s.pageSize }
+func (s *scriptedSource) NumPages() int { return s.numPages }
+
+func (s *scriptedSource) totalReads() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads
+}
+
+// ok serves the valid image; fail returns err; torn serves a bit-flipped image.
+func (s *scriptedSource) ok(buf []byte) error {
+	copy(buf, s.image)
+	return nil
+}
+
+func (s *scriptedSource) torn(buf []byte) error {
+	copy(buf, s.image)
+	buf[len(buf)-1] ^= 0x01
+	return nil
+}
+
+func failWith(err error) func([]byte) error {
+	return func([]byte) error { return err }
+}
+
+func noSleep(time.Duration) {}
+
+func TestRetryReaderPassThrough(t *testing.T) {
+	src := newScriptedSource(t)
+	r := NewRetryReader(src, RetryPolicy{Sleep: noSleep})
+	buf := make([]byte, src.PageSize())
+	if err := r.ReadPageInto(7, buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParsePage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != 7 || len(p.Records) != 1 {
+		t.Fatalf("parsed page %d with %d records", p.ID, len(p.Records))
+	}
+	st := r.Stats()
+	if st.Reads != 1 || st.Retries != 0 || st.Recovered != 0 || st.Exhausted != 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestRetryReaderRecoversTransient(t *testing.T) {
+	src := newScriptedSource(t)
+	transient := NewTransientError(7, errors.New("hiccup"))
+	src.script = []func([]byte) error{failWith(transient), failWith(transient)}
+	r := NewRetryReader(src, RetryPolicy{MaxRetries: 3, Sleep: noSleep})
+	buf := make([]byte, src.PageSize())
+	if err := r.ReadPageInto(7, buf); err != nil {
+		t.Fatalf("retry should have recovered: %v", err)
+	}
+	if got := src.totalReads(); got != 3 {
+		t.Fatalf("source read %d times, want 3 (2 failures + 1 success)", got)
+	}
+	st := r.Stats()
+	if st.Retries != 2 || st.Recovered != 1 || st.Exhausted != 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestRetryReaderExhaustsBudget(t *testing.T) {
+	src := newScriptedSource(t)
+	cause := errors.New("still down")
+	transient := NewTransientError(7, cause)
+	for i := 0; i < 10; i++ {
+		src.script = append(src.script, failWith(transient))
+	}
+	const maxRetries = 2
+	r := NewRetryReader(src, RetryPolicy{MaxRetries: maxRetries, Sleep: noSleep})
+	buf := make([]byte, src.PageSize())
+	err := r.ReadPageInto(7, buf)
+	if !errors.Is(err, cause) {
+		t.Fatalf("exhaustion must wrap the cause, got %v", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("exhausted error lost its transient classification")
+	}
+	if got := src.totalReads(); got != maxRetries+1 {
+		t.Fatalf("source read %d times, want exactly %d", got, maxRetries+1)
+	}
+	if st := r.Stats(); st.Exhausted != 1 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestRetryReaderFailsFastOnPermanent(t *testing.T) {
+	src := newScriptedSource(t)
+	perm := &IOError{Page: 7, Op: "read", Err: errors.New("bad sector")}
+	src.script = []func([]byte) error{failWith(perm)}
+	r := NewRetryReader(src, RetryPolicy{MaxRetries: 5, Sleep: noSleep})
+	buf := make([]byte, src.PageSize())
+	err := r.ReadPageInto(7, buf)
+	var ioe *IOError
+	if !errors.As(err, &ioe) || ioe.Transient {
+		t.Fatalf("want the permanent IOError back, got %v", err)
+	}
+	if got := src.totalReads(); got != 1 {
+		t.Fatalf("permanent error retried: %d reads", got)
+	}
+}
+
+func TestRetryReaderHealsTornRead(t *testing.T) {
+	src := newScriptedSource(t)
+	src.script = []func([]byte) error{src.torn}
+	r := NewRetryReader(src, RetryPolicy{CRCRetries: 1, Sleep: noSleep})
+	buf := make([]byte, src.PageSize())
+	if err := r.ReadPageInto(7, buf); err != nil {
+		t.Fatalf("torn read should heal on re-read: %v", err)
+	}
+	if got := src.totalReads(); got != 2 {
+		t.Fatalf("source read %d times, want 2", got)
+	}
+	st := r.Stats()
+	if st.CRCRereads != 1 || st.Recovered != 1 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestRetryReaderDeclaresCorruptionAfterBudget(t *testing.T) {
+	src := newScriptedSource(t)
+	for i := 0; i < 10; i++ {
+		src.script = append(src.script, src.torn)
+	}
+	const crcRetries = 2
+	r := NewRetryReader(src, RetryPolicy{CRCRetries: crcRetries, Sleep: noSleep})
+	buf := make([]byte, src.PageSize())
+	err := r.ReadPageInto(7, buf)
+	ce, ok := IsCorrupt(err)
+	if !ok {
+		t.Fatalf("want *CorruptPageError, got %v", err)
+	}
+	if ce.Page != 7 {
+		t.Fatalf("corruption names page %d, want 7", ce.Page)
+	}
+	if got := src.totalReads(); got != crcRetries+1 {
+		t.Fatalf("source read %d times, want exactly %d", got, crcRetries+1)
+	}
+	if st := r.Stats(); st.Exhausted != 1 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestRetryReaderMixedTransientThenTorn(t *testing.T) {
+	src := newScriptedSource(t)
+	transient := NewTransientError(7, errors.New("hiccup"))
+	src.script = []func([]byte) error{failWith(transient), src.torn}
+	r := NewRetryReader(src, RetryPolicy{MaxRetries: 2, CRCRetries: 1, Sleep: noSleep})
+	buf := make([]byte, src.PageSize())
+	if err := r.ReadPageInto(7, buf); err != nil {
+		t.Fatalf("should survive one transient + one torn read: %v", err)
+	}
+	if got := src.totalReads(); got != 3 {
+		t.Fatalf("source read %d times, want 3", got)
+	}
+}
+
+func TestRetryBackoffBoundedAndDeterministic(t *testing.T) {
+	policy := RetryPolicy{
+		MaxRetries: 8,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   16 * time.Millisecond,
+		Jitter:     0.5,
+		Seed:       42,
+	}
+	delays := func() []time.Duration {
+		var ds []time.Duration
+		p := policy
+		p.Sleep = func(d time.Duration) { ds = append(ds, d) }
+		src := newScriptedSource(t)
+		transient := NewTransientError(7, errors.New("hiccup"))
+		for i := 0; i < 8; i++ {
+			src.script = append(src.script, failWith(transient))
+		}
+		r := NewRetryReader(src, p)
+		buf := make([]byte, src.PageSize())
+		if err := r.ReadPageInto(7, buf); err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	first := delays()
+	if len(first) != 8 {
+		t.Fatalf("%d delays, want 8", len(first))
+	}
+	for i, d := range first {
+		// Attempt i's nominal delay is min(base<<i, max); jitter keeps it
+		// within [nominal/2, nominal].
+		nominal := policy.BaseDelay << uint(i)
+		if nominal > policy.MaxDelay {
+			nominal = policy.MaxDelay
+		}
+		if d < nominal/2 || d > nominal {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, nominal/2, nominal)
+		}
+	}
+	second := delays()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("same seed produced different delays: %v vs %v", first, second)
+		}
+	}
+}
+
+func TestVerifyPageChecksumDetectsFlips(t *testing.T) {
+	src := newScriptedSource(t)
+	buf := make([]byte, src.PageSize())
+	src.ok(buf)
+	if err := VerifyPageChecksum(buf); err != nil {
+		t.Fatalf("valid page rejected: %v", err)
+	}
+	for _, off := range []int{0, 5, checksumOffset, len(buf) - 1} {
+		img := make([]byte, len(buf))
+		copy(img, buf)
+		img[off] ^= 0x10
+		err := VerifyPageChecksum(img)
+		if _, ok := IsCorrupt(err); !ok {
+			t.Fatalf("flip at offset %d undetected: %v", off, err)
+		}
+	}
+}
+
+func TestIsTransientClassifier(t *testing.T) {
+	transient := NewTransientError(3, errors.New("x"))
+	perm := &IOError{Page: 3, Op: "read", Err: errors.New("x")}
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("plain"), false},
+		{transient, true},
+		{perm, false},
+		{fmt.Errorf("wrapped: %w", transient), true},
+		{fmt.Errorf("wrapped: %w", perm), false},
+		{&CorruptPageError{Page: 1, Reason: "checksum mismatch"}, false},
+	}
+	for i, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Fatalf("case %d (%v): IsTransient = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}
+
+func TestReadPageIntoTypedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := randomTestGraph(rng, 60, 200)
+	db, _ := buildTemp(t, g, BuildOptions{PageSize: 256})
+	buf := make([]byte, db.PageSize())
+	err := db.ReadPageInto(PageID(db.NumPages()+3), buf)
+	var ioe *IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("out-of-range read: want *IOError, got %v", err)
+	}
+	if ioe.Transient {
+		t.Fatal("out-of-range read misclassified as transient")
+	}
+	if ioe.Page != PageID(db.NumPages()+3) {
+		t.Fatalf("error names page %d", ioe.Page)
+	}
+}
+
+func TestStatsFillFactorBounded(t *testing.T) {
+	// Regression: the fill-factor computation once decoded freeStart with
+	// the wrong operator precedence, yielding factors far above 1. A packed
+	// database must report a fill factor in (0, 1].
+	rng := rand.New(rand.NewSource(13))
+	g := randomTestGraph(rng, 300, 4000)
+	for _, pageSize := range []int{128, 256, 4096} {
+		db, _ := buildTemp(t, g, BuildOptions{PageSize: pageSize})
+		st, err := db.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FillFactor <= 0 || st.FillFactor > 1 {
+			t.Fatalf("pageSize=%d: fill factor %.4f outside (0, 1]", pageSize, st.FillFactor)
+		}
+		if pageSize == 128 && st.FillFactor < 0.5 {
+			t.Fatalf("packed small pages report implausibly low fill %.4f", st.FillFactor)
+		}
+	}
+}
+
+func TestVerifyPagesReportsAllFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := randomTestGraph(rng, 200, 1500)
+	db, _ := buildTemp(t, g, BuildOptions{PageSize: 128})
+	if db.NumPages() < 4 {
+		t.Skip("too few pages")
+	}
+	rep := db.VerifyPages()
+	if rep.PagesScanned != db.NumPages() {
+		t.Fatalf("scanned %d pages, want %d", rep.PagesScanned, db.NumPages())
+	}
+	if rep.Err() != nil {
+		t.Fatalf("clean database reported %v", rep.Err())
+	}
+
+	// Corrupt two pages on disk and re-verify: both must be reported.
+	path := db.Path()
+	pageSize := db.PageSize()
+	db.Close()
+	flipByteInPage(t, path, pageSize, 1)
+	flipByteInPage(t, path, pageSize, 3)
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rep = db2.VerifyPages()
+	if len(rep.Corrupt) != 2 {
+		t.Fatalf("%d corrupt pages reported, want 2: %v", len(rep.Corrupt), rep.Corrupt)
+	}
+	got := map[PageID]bool{}
+	for _, ce := range rep.Corrupt {
+		got[ce.Page] = true
+	}
+	if !got[1] || !got[3] {
+		t.Fatalf("wrong pages reported: %v", rep.Corrupt)
+	}
+	if _, ok := IsCorrupt(rep.Err()); !ok {
+		t.Fatalf("report error is not corruption: %v", rep.Err())
+	}
+}
+
+// flipByteInPage flips one payload byte of page pid directly in the file.
+// Data pages start one page past the superblock.
+func flipByteInPage(t *testing.T, path string, pageSize int, pid PageID) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	off := int64(pageSize)*(int64(pid)+1) + int64(pageSize)/2
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x20
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -130,25 +130,46 @@ func (s *FileSource) Next() (graph.VertexID, graph.VertexID, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return 0, 0, fmt.Errorf("storage: malformed edge line %q", line)
+			return 0, 0, s.fail(fmt.Errorf("storage: malformed edge line %q", truncateLine(line)))
 		}
 		u, err := strconv.ParseUint(fields[0], 10, 32)
 		if err != nil {
-			return 0, 0, fmt.Errorf("storage: bad vertex %q: %w", fields[0], err)
+			return 0, 0, s.fail(fmt.Errorf("storage: bad vertex %q: %w", fields[0], err))
 		}
 		v, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
-			return 0, 0, fmt.Errorf("storage: bad vertex %q: %w", fields[1], err)
+			return 0, 0, s.fail(fmt.Errorf("storage: bad vertex %q: %w", fields[1], err))
 		}
 		return graph.VertexID(u), graph.VertexID(v), nil
 	}
 	if err := s.sc.Err(); err != nil {
-		return 0, 0, err
+		return 0, 0, s.fail(fmt.Errorf("storage: read edge file: %w", err))
 	}
 	s.f.Close()
 	s.f = nil
 	s.sc = nil
 	return 0, 0, io.EOF
+}
+
+// fail closes the file and resets state before surfacing err, so an
+// abandoned source never leaks its descriptor and a later Next restarts
+// cleanly from the top of the file.
+func (s *FileSource) fail(err error) error {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	s.sc = nil
+	return err
+}
+
+// truncateLine bounds error messages for pathological inputs.
+func truncateLine(line string) string {
+	const max = 80
+	if len(line) <= max {
+		return line
+	}
+	return line[:max] + "..."
 }
 
 // NumVertices implements EdgeSource.
