@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check clean
+.PHONY: build test race vet fmt check bench clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ fmt:
 # that only -race can vouch for).
 check: vet
 	$(GO) test -race ./...
+
+# bench runs every benchmark once — a smoke test that the benchmark harness
+# still compiles and executes, not a measurement (use -benchtime 3x and a
+# quiet machine for real numbers).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 clean:
 	$(GO) clean ./...

@@ -119,6 +119,35 @@ func BenchmarkEngineTriangle(b *testing.B) { benchEngineQuery(b, graph.Triangle(
 func BenchmarkEngineClique4(b *testing.B)  { benchEngineQuery(b, graph.Clique4(), core.Options{}) }
 func BenchmarkEngineHouse(b *testing.B)    { benchEngineQuery(b, graph.House(), core.Options{}) }
 
+// BenchmarkEnumerate measures a full run through the public API. The
+// "baseline" variant has every observability feature off — the guardrail for
+// the instrumented engine's disabled-path cost — while "traced" pays for a
+// JSONL trace of every window event.
+func BenchmarkEnumerate(b *testing.B) {
+	run := func(b *testing.B, opts Options) {
+		b.Helper()
+		pub := &DB{db: benchDB(b, 0.1)}
+		opts.Threads = 2
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng, err := pub.NewEngine(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := eng.Run(Triangle())
+			eng.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Count == 0 {
+				b.Fatal("suspicious zero count")
+			}
+		}
+	}
+	b.Run("baseline", func(b *testing.B) { run(b, Options{}) })
+	b.Run("traced", func(b *testing.B) { run(b, Options{TraceWriter: io.Discard}) })
+}
+
 // --- ablation benches (design choices from DESIGN.md §5) ----------------------
 
 // BenchmarkAblationBufferAllocation compares the paper's buffer allocation

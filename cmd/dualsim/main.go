@@ -5,6 +5,7 @@
 //
 //	dualsim build  -edges edges.txt -db graph.db [-pagesize 4096]
 //	dualsim run    -db graph.db -q q1 [-threads 4] [-buffer 0.15] [-timeout 30s] [-print]
+//	               [-json] [-metrics-addr :8080] [-trace events.jsonl] [-progress 1s]
 //	dualsim stats  -db graph.db
 //	dualsim verify -db graph.db
 //	dualsim compare -edges edges.txt -q q4    # DUALSIM vs TTJ vs PSgL
@@ -19,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -100,6 +102,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   dualsim build  -edges <edges.txt> -db <graph.db> [-pagesize N]
   dualsim run    -db <graph.db> -q <q1..q5|edge list> [-threads N] [-buffer F] [-frames N] [-timeout D] [-retries N] [-print]
+                 [-json] [-metrics-addr :8080] [-trace events.jsonl] [-progress 1s]
   dualsim stats  -db <graph.db>
   dualsim verify -db <graph.db>
   dualsim compare -edges <edges.txt> -q <query> [-workers N] [-mem MiB]
@@ -167,6 +170,10 @@ func cmdQuery(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	retries := fs.Int("retries", 0, "retry transient read failures up to N times (0 = no retry layer)")
 	print := fs.Bool("print", false, "print each embedding")
+	jsonOut := fs.Bool("json", false, "emit the result and metrics snapshot as one JSON object on stdout")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+	traceFile := fs.String("trace", "", "write a JSONL window/stage trace to this file")
+	progress := fs.Duration("progress", 0, "print a progress line to stderr every interval (0 = off)")
 	fs.Parse(args)
 	if *dbPath == "" {
 		return fmt.Errorf("run: -db is required")
@@ -181,13 +188,23 @@ func cmdQuery(args []string) error {
 	}
 	defer db.Close()
 	opts := dualsim.Options{
-		Threads:        *threads,
-		BufferFraction: *buffer,
-		BufferFrames:   *frames,
-		Timeout:        *timeout,
+		Threads:          *threads,
+		BufferFraction:   *buffer,
+		BufferFrames:     *frames,
+		Timeout:          *timeout,
+		MetricsAddr:      *metricsAddr,
+		ProgressInterval: *progress,
 	}
 	if *retries > 0 {
 		opts.Retry = &dualsim.RetryPolicy{MaxRetries: *retries}
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("run: creating trace file: %w", err)
+		}
+		defer f.Close()
+		opts.TraceWriter = f
 	}
 
 	ctx, stop := runContext()
@@ -204,6 +221,9 @@ func cmdQuery(args []string) error {
 			return engErr
 		}
 		defer eng.Close()
+		if addr := eng.MetricsAddr(); addr != "" {
+			fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+		}
 		res, err = eng.RunContext(ctx, q)
 		if st := eng.RetryStats(); st.Retries > 0 || st.CRCRereads > 0 {
 			fmt.Fprintf(os.Stderr, "retry layer: %d retries, %d CRC re-reads, %d reads recovered\n",
@@ -212,6 +232,11 @@ func cmdQuery(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
 	}
 	fmt.Printf("query %s: %d occurrences (%d internal, %d external)\n",
 		q.Name(), res.Count, res.Internal, res.External)

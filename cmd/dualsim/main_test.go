@@ -1,6 +1,16 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dualsim"
+)
 
 func TestParseQueryCatalog(t *testing.T) {
 	for _, spec := range []string{"q1", "q2", "q3", "q4", "q5", "triangle", "house"} {
@@ -38,5 +48,114 @@ func TestParseQueryErrors(t *testing.T) {
 	// Disconnected custom query.
 	if _, err := parseQuery("0-1,2-3"); err == nil {
 		t.Error("disconnected query accepted")
+	}
+}
+
+// buildTestDB writes a small graph (two triangles sharing an edge plus a
+// tail) and builds a database from it.
+func buildTestDB(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	edgeFile := filepath.Join(dir, "edges.txt")
+	content := "0 1\n1 2\n0 2\n1 3\n2 3\n3 4\n"
+	if err := os.WriteFile(edgeFile, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dbPath := filepath.Join(dir, "g.db")
+	if _, err := dualsim.BuildFromEdgeFile(dbPath, edgeFile, dualsim.BuildOptions{PageSize: 128, TempDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	return dbPath
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns what
+// it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	return <-done
+}
+
+// TestCmdQueryJSON runs `run -json -trace` end to end: stdout must be one
+// JSON object carrying the result and the metrics snapshot, and the trace
+// file must be valid JSONL bracketed by run_start/run_end.
+func TestCmdQueryJSON(t *testing.T) {
+	dbPath := buildTestDB(t)
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	var cmdErr error
+	out := captureStdout(t, func() {
+		cmdErr = cmdQuery([]string{"-db", dbPath, "-q", "q1", "-frames", "8", "-json", "-trace", tracePath})
+	})
+	if cmdErr != nil {
+		t.Fatal(cmdErr)
+	}
+	var res struct {
+		Count   uint64 `json:"count"`
+		Metrics *struct {
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("stdout is not one JSON object: %v\n%s", err, out)
+	}
+	if res.Count != 2 {
+		t.Errorf("count = %d, want 2 triangles", res.Count)
+	}
+	if res.Metrics == nil {
+		t.Fatal("metrics snapshot missing from JSON output")
+	}
+	if res.Metrics.Counters["dualsim_pages_read_total"] == 0 {
+		t.Error("dualsim_pages_read_total = 0 in JSON output")
+	}
+	if res.Metrics.Counters["dualsim_windows_total"] == 0 {
+		t.Error("dualsim_windows_total = 0 in JSON output")
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var events []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("corrupt trace line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e.Event)
+	}
+	if len(events) < 2 || events[0] != "run_start" || events[len(events)-1] != "run_end" {
+		t.Errorf("trace events = %v, want run_start ... run_end", events)
+	}
+}
+
+// TestCmdQueryHumanOutput keeps the default text output intact.
+func TestCmdQueryHumanOutput(t *testing.T) {
+	dbPath := buildTestDB(t)
+	var cmdErr error
+	out := captureStdout(t, func() {
+		cmdErr = cmdQuery([]string{"-db", dbPath, "-q", "q1", "-frames", "8"})
+	})
+	if cmdErr != nil {
+		t.Fatal(cmdErr)
+	}
+	if want := "query q1-triangle: 2 occurrences"; !strings.Contains(out, want) {
+		t.Errorf("output %q missing %q", out, want)
 	}
 }

@@ -25,11 +25,14 @@ package dualsim
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
 	"sync"
 	"time"
 
 	"dualsim/internal/core"
 	"dualsim/internal/graph"
+	"dualsim/internal/obs"
 	"dualsim/internal/rbi"
 	"dualsim/internal/storage"
 )
@@ -52,6 +55,13 @@ type (
 	RetryStats = storage.RetryStats
 	// VerifyReport summarizes a page-level scan (DB.VerifyPages).
 	VerifyReport = storage.VerifyReport
+	// MetricsSnapshot is a point-in-time copy of every engine metric
+	// (Result.Metrics, the /debug/vars payload, the CLI -json output).
+	MetricsSnapshot = obs.Snapshot
+	// TraceEvent is one structured lifecycle record of the JSONL trace
+	// written to Options.TraceWriter. See its field docs for the event
+	// vocabulary (run_start, window_open, ..., run_end).
+	TraceEvent = obs.Event
 )
 
 // IsTransient reports whether err is a read failure worth retrying.
@@ -274,58 +284,126 @@ type Options struct {
 	// checksum mismatches are re-read once (torn-read tolerance) before
 	// surfacing a *CorruptPageError.
 	Retry *RetryPolicy
+	// MetricsAddr, when non-empty, serves the engine's metrics over HTTP
+	// for the engine's lifetime: /metrics (Prometheus text format),
+	// /debug/vars (JSON snapshot) and /debug/pprof. Use ":0" to bind a
+	// free port and read it back with Engine.MetricsAddr.
+	MetricsAddr string
+	// TraceWriter, when non-nil, receives a JSONL trace of window/stage
+	// lifecycle events (one TraceEvent per line). Tracing is off — and
+	// effectively free — when nil.
+	TraceWriter io.Writer
+	// ProgressInterval, when positive, prints a progress line (windows
+	// done/estimated, pages read, embeddings) every interval during a run,
+	// to ProgressWriter (default os.Stderr).
+	ProgressInterval time.Duration
+	// ProgressWriter overrides the progress destination.
+	ProgressWriter io.Writer
 }
 
-// Result reports one enumeration run.
+// coreOptions lowers the public options onto the engine's, wiring the
+// observability plumbing (tracer, progress destination).
+func (o Options) coreOptions() core.Options {
+	mode := rbi.MCVC
+	if o.UseMVC {
+		mode = rbi.MVC
+	}
+	var tracer obs.Tracer
+	if o.TraceWriter != nil {
+		tracer = obs.NewJSONLTracer(o.TraceWriter)
+	}
+	pw := o.ProgressWriter
+	if pw == nil {
+		pw = os.Stderr
+	}
+	return core.Options{
+		Threads:          o.Threads,
+		BufferFrames:     o.BufferFrames,
+		BufferFraction:   o.BufferFraction,
+		CoverMode:        mode,
+		EqualAllocation:  o.EqualAllocation,
+		WorstOrder:       o.WorstOrder,
+		PerPageLatency:   o.PerPageLatency,
+		SeekLatency:      o.SeekLatency,
+		Timeout:          o.Timeout,
+		Retry:            o.Retry,
+		Tracer:           tracer,
+		ProgressInterval: o.ProgressInterval,
+		ProgressWriter:   pw,
+	}
+}
+
+// Result reports one enumeration run. It marshals to JSON with snake_case
+// keys (the CLI's `run -json` emits it verbatim).
 type Result struct {
 	// Count is the number of occurrences (each counted exactly once).
-	Count uint64
+	Count uint64 `json:"count"`
 	// Internal and External split Count by where the red match resided.
-	Internal, External uint64
+	Internal uint64 `json:"internal"`
+	External uint64 `json:"external"`
 	// PrepTime is the preparation step (Table 6); ExecTime the execution.
-	PrepTime, ExecTime time.Duration
+	PrepTime time.Duration `json:"prep_ns"`
+	ExecTime time.Duration `json:"exec_ns"`
 	// PhysicalReads and LogicalReads count page I/O.
-	PhysicalReads, LogicalReads uint64
+	PhysicalReads uint64 `json:"physical_reads"`
+	LogicalReads  uint64 `json:"logical_reads"`
 	// BufferFrames is the pool capacity used.
-	BufferFrames int
+	BufferFrames int `json:"buffer_frames"`
 	// Level1Windows counts internal-area window iterations.
-	Level1Windows int
+	Level1Windows int `json:"level1_windows"`
 	// RedVertices is |V_R| (the traversal levels); VGroups the number of
 	// v-group sequences.
-	RedVertices, VGroups int
+	RedVertices int `json:"red_vertices"`
+	VGroups     int `json:"v_groups"`
+	// Metrics is a snapshot of the engine's metric registry at the end of
+	// the run; counters are cumulative across runs of one engine.
+	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // Engine enumerates subgraphs of one database.
 type Engine struct {
 	eng *core.Engine
+	srv *obs.Server // non-nil when Options.MetricsAddr was set
 }
 
-// NewEngine creates an engine over the database.
+// NewEngine creates an engine over the database. When Options.MetricsAddr
+// is set, the metrics endpoint serves until Close.
 func (d *DB) NewEngine(opt Options) (*Engine, error) {
-	mode := rbi.MCVC
-	if opt.UseMVC {
-		mode = rbi.MVC
-	}
-	eng, err := core.NewEngine(d.db, core.Options{
-		Threads:         opt.Threads,
-		BufferFrames:    opt.BufferFrames,
-		BufferFraction:  opt.BufferFraction,
-		CoverMode:       mode,
-		EqualAllocation: opt.EqualAllocation,
-		WorstOrder:      opt.WorstOrder,
-		PerPageLatency:  opt.PerPageLatency,
-		SeekLatency:     opt.SeekLatency,
-		Timeout:         opt.Timeout,
-		Retry:           opt.Retry,
-	})
+	eng, err := core.NewEngine(d.db, opt.coreOptions())
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{eng: eng}, nil
+	e := &Engine{eng: eng}
+	if opt.MetricsAddr != "" {
+		srv, err := obs.Serve(opt.MetricsAddr, eng.Registry())
+		if err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("dualsim: serving metrics on %s: %w", opt.MetricsAddr, err)
+		}
+		e.srv = srv
+	}
+	return e, nil
 }
 
-// Close releases the engine's buffer pool.
-func (e *Engine) Close() { e.eng.Close() }
+// MetricsAddr returns the bound address of the metrics endpoint, or ""
+// when Options.MetricsAddr was not set.
+func (e *Engine) MetricsAddr() string {
+	if e.srv == nil {
+		return ""
+	}
+	return e.srv.Addr()
+}
+
+// Metrics returns a snapshot of the engine's metric registry.
+func (e *Engine) Metrics() *MetricsSnapshot { return e.eng.Registry().Snapshot() }
+
+// Close releases the engine's buffer pool and stops the metrics endpoint.
+func (e *Engine) Close() {
+	if e.srv != nil {
+		e.srv.Close()
+	}
+	e.eng.Close()
+}
 
 // Run enumerates q and returns statistics.
 func (e *Engine) Run(q *Query) (*Result, error) {
@@ -369,6 +447,7 @@ func publicResult(res *core.Result) *Result {
 		Level1Windows: res.Level1Windows,
 		RedVertices:   res.Plan.K,
 		VGroups:       len(res.Plan.Groups),
+		Metrics:       res.Metrics,
 	}
 }
 
@@ -384,34 +463,27 @@ func (d *DB) Enumerate(q *Query, opt Options, fn func(Embedding)) (*Result, erro
 
 // EnumerateContext is Enumerate observing ctx (see Engine.RunContext).
 func (d *DB) EnumerateContext(ctx context.Context, q *Query, opt Options, fn func(Embedding)) (*Result, error) {
-	mode := rbi.MCVC
-	if opt.UseMVC {
-		mode = rbi.MVC
-	}
 	var mu sync.Mutex
-	eng, err := core.NewEngine(d.db, core.Options{
-		Threads:         opt.Threads,
-		BufferFrames:    opt.BufferFrames,
-		BufferFraction:  opt.BufferFraction,
-		CoverMode:       mode,
-		EqualAllocation: opt.EqualAllocation,
-		WorstOrder:      opt.WorstOrder,
-		PerPageLatency:  opt.PerPageLatency,
-		SeekLatency:     opt.SeekLatency,
-		Timeout:         opt.Timeout,
-		Retry:           opt.Retry,
-		OnMatch: func(m []graph.VertexID) {
-			cp := make(Embedding, len(m))
-			copy(cp, m)
-			mu.Lock()
-			fn(cp)
-			mu.Unlock()
-		},
-	})
+	copts := opt.coreOptions()
+	copts.OnMatch = func(m []graph.VertexID) {
+		cp := make(Embedding, len(m))
+		copy(cp, m)
+		mu.Lock()
+		fn(cp)
+		mu.Unlock()
+	}
+	eng, err := core.NewEngine(d.db, copts)
 	if err != nil {
 		return nil, err
 	}
 	defer eng.Close()
+	if opt.MetricsAddr != "" {
+		srv, err := obs.Serve(opt.MetricsAddr, eng.Registry())
+		if err != nil {
+			return nil, fmt.Errorf("dualsim: serving metrics on %s: %w", opt.MetricsAddr, err)
+		}
+		defer srv.Close()
+	}
 	res, err := eng.RunContext(ctx, q)
 	if err != nil {
 		return nil, err

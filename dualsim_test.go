@@ -1,10 +1,16 @@
 package dualsim
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -238,6 +244,101 @@ func TestKarateClubGolden(t *testing.T) {
 		if got != want {
 			t.Fatalf("karate %s: %d, want %d", q.Name(), got, want)
 		}
+	}
+}
+
+// TestMetricsEndpoint starts an engine with a live metrics endpoint, runs a
+// query, and scrapes /metrics and /debug/vars over HTTP like a Prometheus
+// server would.
+func TestMetricsEndpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 100
+	edges := randomEdges(rng, n, 500)
+	db := buildAndOpen(t, n, edges, BuildOptions{PageSize: 256})
+	eng, err := db.NewEngine(Options{Threads: 2, BufferFrames: 24, MetricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	addr := eng.MetricsAddr()
+	if addr == "" {
+		t.Fatal("MetricsAddr empty with MetricsAddr option set")
+	}
+	if _, err := eng.Count(Triangle()); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, name := range []string{"dualsim_pages_read_total", "dualsim_windows_total"} {
+		re := regexp.MustCompile(`(?m)^` + name + ` (\d+)$`)
+		m := re.FindStringSubmatch(metrics)
+		if m == nil {
+			t.Fatalf("/metrics missing %s:\n%s", name, metrics)
+		}
+		if m[1] == "0" {
+			t.Errorf("%s = 0 after a run", name)
+		}
+	}
+
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &snap); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if snap.Counters["dualsim_runs_total"] != 1 {
+		t.Errorf("/debug/vars runs_total = %d, want 1", snap.Counters["dualsim_runs_total"])
+	}
+
+	// The snapshot accessor matches the scrape.
+	if eng.Metrics().Counters["dualsim_pages_read_total"] == 0 {
+		t.Error("Engine.Metrics() pages read = 0")
+	}
+}
+
+// TestTraceWriterOption checks the public TraceWriter option produces a
+// parseable JSONL lifecycle trace.
+func TestTraceWriterOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 100
+	edges := randomEdges(rng, n, 500)
+	db := buildAndOpen(t, n, edges, BuildOptions{PageSize: 256})
+	var buf bytes.Buffer
+	res, err := db.Enumerate(Triangle(), Options{Threads: 2, BufferFrames: 16, TraceWriter: &buf}, func(Embedding) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("corrupt trace line: %v", err)
+		}
+		kinds = append(kinds, e.Event)
+	}
+	if len(kinds) == 0 || kinds[0] != "run_start" || kinds[len(kinds)-1] != "run_end" {
+		t.Fatalf("trace = %v, want run_start ... run_end", kinds)
+	}
+	if res.Metrics == nil || res.Metrics.Counters["dualsim_embeddings_total"] != res.Count {
+		t.Errorf("metrics snapshot inconsistent with result: %+v", res.Metrics)
 	}
 }
 

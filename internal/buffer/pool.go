@@ -47,6 +47,10 @@ type Stats struct {
 	PhysicalReads uint64 // pages actually read from the reader
 	Hits          uint64 // Pin calls satisfied without I/O
 	Evictions     uint64 // frames recycled
+	// PinWaitNanos is time pinners spent blocked on a page another
+	// goroutine was already loading — contention the async scheduler
+	// failed to hide.
+	PinWaitNanos uint64
 }
 
 type frame struct {
@@ -81,6 +85,7 @@ type Pool struct {
 	physical  atomic.Uint64
 	hits      atomic.Uint64
 	evictions atomic.Uint64
+	pinWait   atomic.Uint64
 	lastRead  atomic.Int64 // previous physical pid, for seek simulation
 
 	ioq    chan ioRequest
@@ -126,13 +131,18 @@ func (p *Pool) Close() {
 // Capacity returns the frame count.
 func (p *Pool) Capacity() int { return p.opts.Frames }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters. Every counter is an
+// atomic, so snapshots are race-free against concurrent pinners and I/O
+// workers without taking Pool.mu (verified by TestStatsRaceFree under
+// -race); the fields are loaded independently, so a snapshot is not a
+// single linearization point across counters.
 func (p *Pool) Stats() Stats {
 	return Stats{
 		LogicalReads:  p.logical.Load(),
 		PhysicalReads: p.physical.Load(),
 		Hits:          p.hits.Load(),
 		Evictions:     p.evictions.Load(),
+		PinWaitNanos:  p.pinWait.Load(),
 	}
 }
 
@@ -142,6 +152,7 @@ func (p *Pool) ResetStats() {
 	p.physical.Store(0)
 	p.hits.Store(0)
 	p.evictions.Store(0)
+	p.pinWait.Store(0)
 }
 
 // Resident reports whether pid is currently buffered (loaded or loading).
@@ -187,7 +198,15 @@ func (p *Pool) PinContext(ctx context.Context, pid storage.PageID) (*storage.Pag
 		f.pins++
 		ready := f.ready
 		p.mu.Unlock()
-		<-ready
+		// Fast path: the page is already loaded. Only a pin that actually
+		// blocks on an in-flight load pays for the clock reads.
+		select {
+		case <-ready:
+		default:
+			waitStart := time.Now()
+			<-ready
+			p.pinWait.Add(uint64(time.Since(waitStart)))
+		}
 		if f.err != nil {
 			err := f.err
 			p.Unpin(pid)

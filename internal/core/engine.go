@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 
 	"dualsim/internal/buffer"
 	"dualsim/internal/graph"
+	"dualsim/internal/obs"
 	"dualsim/internal/plan"
 	"dualsim/internal/rbi"
 	"dualsim/internal/storage"
@@ -54,6 +56,21 @@ type Options struct {
 	// mapping m (query vertex -> data vertex). It is called concurrently
 	// from multiple workers and the slice is reused; copy it if retained.
 	OnMatch func(m []graph.VertexID)
+	// Metrics, when non-nil, is the registry the engine registers its
+	// metrics into (share one across engines to aggregate); when nil the
+	// engine creates a private registry, retrievable with Registry().
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives window/stage lifecycle events (and
+	// retry-layer recovery events when Retry is set). Nil disables tracing
+	// at the cost of one pointer comparison per emit site.
+	Tracer obs.Tracer
+	// ProgressInterval, when positive, prints a progress line (windows
+	// done/estimated, pages read, embeddings) to ProgressWriter every
+	// interval during a run.
+	ProgressInterval time.Duration
+	// ProgressWriter receives progress lines (required for
+	// ProgressInterval; typically os.Stderr).
+	ProgressWriter io.Writer
 }
 
 // Result reports one enumeration run.
@@ -81,6 +98,9 @@ type Result struct {
 	// IOWait is orchestrator time blocked on page loads — the I/O cost not
 	// hidden behind enumeration work (the paper's overlap target).
 	IOWait time.Duration
+	// Metrics is a snapshot of the engine's metric registry at the end of
+	// the run. Counters are cumulative across runs of one engine.
+	Metrics *obs.Snapshot
 }
 
 // Database is the storage interface the engine consumes. *storage.DB
@@ -103,6 +123,10 @@ type Engine struct {
 	frames  int
 	all     []graph.VertexID // every vertex ID, ascending (shared, read-only)
 	maxSpan int              // pages of the largest adjacency list
+
+	reg    *obs.Registry
+	em     *engineMetrics
+	tracer obs.Tracer // nil when tracing is disabled
 }
 
 // NewEngine opens an engine over db. Close the engine (not the db) when
@@ -128,7 +152,16 @@ func NewEngine(db Database, opts Options) (*Engine, error) {
 	var reader buffer.PageReader = db
 	var retry *storage.RetryReader
 	if opts.Retry != nil {
-		retry = storage.NewRetryReader(db, *opts.Retry)
+		rp := *opts.Retry
+		if opts.Tracer != nil && rp.OnEvent == nil {
+			// Surface recovery activity in the trace: I/O workers emit
+			// these concurrently with the orchestrator's window events.
+			tr := opts.Tracer
+			rp.OnEvent = func(kind string, pid storage.PageID, attempt int) {
+				tr.Emit(obs.Event{Event: "retry_" + kind, Page: int64(pid), Attempt: attempt})
+			}
+		}
+		retry = storage.NewRetryReader(db, rp)
 		reader = retry
 	}
 	pool, err := buffer.NewPool(reader, buffer.Options{
@@ -151,8 +184,20 @@ func NewEngine(db Database, opts Options) (*Engine, error) {
 			maxSpan = s
 		}
 	}
-	return &Engine{db: db, pool: pool, retry: retry, opts: opts, frames: frames, all: all, maxSpan: maxSpan}, nil
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Engine{
+		db: db, pool: pool, retry: retry, opts: opts, frames: frames, all: all, maxSpan: maxSpan,
+		reg: reg, em: registerEngineMetrics(reg, pool, retry), tracer: opts.Tracer,
+	}, nil
 }
+
+// Registry returns the engine's metric registry (Options.Metrics, or the
+// private registry created when that was nil). Serve it with obs.Serve or
+// snapshot it with Registry().Snapshot().
+func (e *Engine) Registry() *obs.Registry { return e.reg }
 
 // RetryStats returns the retry layer's recovery counters; the zero value
 // when Options.Retry was not set.
@@ -218,6 +263,10 @@ func (e *Engine) RunPlanContext(ctx context.Context, p *plan.Plan) (*Result, err
 		return nil, err
 	}
 	statsBefore := e.pool.Stats()
+	e.em.runs.Inc()
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{Event: "run_start", Levels: p.K, Frames: e.frames})
+	}
 
 	r := &run{
 		ctx:     ctx,
@@ -228,6 +277,8 @@ func (e *Engine) RunPlanContext(ctx context.Context, p *plan.Plan) (*Result, err
 		cand:    make([][]candSeq, len(p.Groups)),
 		winData: make([]*levelWindow, p.K),
 		onMatch: e.opts.OnMatch,
+		tracer:  e.tracer,
+		em:      e.em,
 	}
 	for g := range r.cand {
 		r.cand[g] = make([]candSeq, p.K)
@@ -239,8 +290,28 @@ func (e *Engine) RunPlanContext(ctx context.Context, p *plan.Plan) (*Result, err
 		}
 	}
 	r.windowsPer = make([]int, p.K)
-	r.workers = newWorkerPool(e.opts.Threads)
+	r.workers = newWorkerPool(e.opts.Threads, e.em.workerSubmitted, e.em.workerCompleted)
 	defer r.workers.close()
+
+	if e.opts.ProgressInterval > 0 && e.opts.ProgressWriter != nil {
+		// The reporter goroutine reads only atomics: engine counters
+		// (with the pre-run baseline subtracted) and the run's embedding
+		// counts. Level-1 window count is estimated from the level's frame
+		// budget; path-pin sharing makes actual windows somewhat fewer.
+		l1Before := e.em.windowsLevel1.Value()
+		estL1 := (e.db.NumPages() + alloc[0] - 1) / alloc[0]
+		if estL1 < 1 {
+			estL1 = 1
+		}
+		stop := obs.StartProgress(e.opts.ProgressWriter, e.opts.ProgressInterval, func() string {
+			st := e.pool.Stats()
+			return fmt.Sprintf("dualsim: windows %d/~%d, pages read %d, embeddings %d",
+				e.em.windowsLevel1.Value()-l1Before, estL1,
+				st.PhysicalReads-statsBefore.PhysicalReads,
+				r.internalCount.Load()+r.externalCount.Load())
+		})
+		defer stop()
+	}
 
 	if err := r.processLevel(0); err != nil {
 		return nil, err
@@ -250,8 +321,12 @@ func (e *Engine) RunPlanContext(ctx context.Context, p *plan.Plan) (*Result, err
 	}
 
 	statsAfter := e.pool.Stats()
+	total := r.internalCount.Load() + r.externalCount.Load()
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{Event: "run_end", Count: total, DurUS: time.Since(startExec).Microseconds()})
+	}
 	return &Result{
-		Count:    r.internalCount.Load() + r.externalCount.Load(),
+		Count:    total,
 		Internal: r.internalCount.Load(),
 		External: r.externalCount.Load(),
 		Plan:     p,
@@ -262,11 +337,13 @@ func (e *Engine) RunPlanContext(ctx context.Context, p *plan.Plan) (*Result, err
 			PhysicalReads: statsAfter.PhysicalReads - statsBefore.PhysicalReads,
 			Hits:          statsAfter.Hits - statsBefore.Hits,
 			Evictions:     statsAfter.Evictions - statsBefore.Evictions,
+			PinWaitNanos:  statsAfter.PinWaitNanos - statsBefore.PinWaitNanos,
 		},
 		Level1Windows:   r.windows1,
 		WindowsPerLevel: r.windowsPer,
 		BufferFrames:    e.frames,
 		IOWait:          r.ioWait,
+		Metrics:         e.reg.Snapshot(),
 	}, nil
 }
 
@@ -330,6 +407,8 @@ type run struct {
 	pathPinned map[storage.PageID]int
 
 	workers *workerPool
+	tracer  obs.Tracer     // nil when tracing is disabled
+	em      *engineMetrics // never nil
 
 	internalCount atomic.Uint64
 	externalCount atomic.Uint64

@@ -39,12 +39,17 @@ func (r *run) newMatcher(lw *levelWindow, internal bool) *matcher {
 	}
 }
 
+// flush publishes the task's local counters: once into the run totals,
+// once into the engine's cumulative metrics. Batching per task keeps the
+// per-embedding hot path free of shared-cacheline traffic.
 func (m *matcher) flush() {
 	if m.localInternal > 0 {
 		m.r.internalCount.Add(m.localInternal)
+		m.r.em.embInternal.Add(m.localInternal)
 	}
 	if m.localExternal > 0 {
 		m.r.externalCount.Add(m.localExternal)
+		m.r.em.embExternal.Add(m.localExternal)
 	}
 }
 

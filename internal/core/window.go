@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dualsim/internal/graph"
+	"dualsim/internal/obs"
 	"dualsim/internal/storage"
 )
 
@@ -49,7 +50,17 @@ func (r *run) processLevel(l int) error {
 		if err := r.firstErr(); err != nil {
 			return err
 		}
-		lw, err := r.loadWindow(l, iter.windowVerts(), l == r.k-1 && r.k > 1)
+		verts := iter.windowVerts()
+		ord := r.windowsPer[l] + 1 // 1-based window ordinal at this level
+		windowStart := time.Now()
+		if r.tracer != nil {
+			ev := obs.Event{Event: "window_open", Level: l + 1, Window: ord, Verts: len(verts)}
+			if len(verts) > 0 {
+				ev.Lo, ev.Hi = uint64(verts[0]), uint64(verts[len(verts)-1])
+			}
+			r.tracer.Emit(ev)
+		}
+		lw, err := r.loadWindow(l, verts, l == r.k-1 && r.k > 1)
 		if err != nil {
 			return err
 		}
@@ -58,17 +69,27 @@ func (r *run) processLevel(l int) error {
 		if l == 0 {
 			r.windows1++
 		}
+		r.em.windows.Inc()
+		if l == 0 {
+			r.em.windowsLevel1.Inc()
+		}
 
 		if l == r.k-1 {
 			if r.k > 1 {
 				// Last level: matching already dispatched page-by-page as
 				// reads completed (loadWindow); handle split vertices.
 				r.dispatchSplitVertices(lw)
+				drainStart := time.Now()
+				r.workers.drain()
+				if r.tracer != nil {
+					r.tracer.Emit(obs.Event{Event: "external_enum", Level: l + 1, Window: ord,
+						Verts: len(verts), DurUS: time.Since(drainStart).Microseconds()})
+				}
 			} else {
 				// Single-level plans: the whole window is the internal area.
 				r.dispatchInternal(lw)
+				r.workers.drain()
 			}
-			r.workers.drain()
 		} else {
 			r.computeChildCandidates(l)
 			if l == 0 {
@@ -85,6 +106,10 @@ func (r *run) processLevel(l int) error {
 			r.clearChildCandidates(l)
 		}
 		r.unloadWindow(l, lw)
+		if r.tracer != nil {
+			r.tracer.Emit(obs.Event{Event: "window_close", Level: l + 1, Window: ord,
+				DurUS: time.Since(windowStart).Microseconds()})
+		}
 		if err := r.firstErr(); err != nil {
 			return err
 		}
@@ -263,7 +288,15 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 	}
 	waitStart := time.Now()
 	wg.Wait()
-	r.ioWait += time.Since(waitStart)
+	wait := time.Since(waitStart)
+	r.ioWait += wait
+	r.em.ioWaitNanos.Add(uint64(wait.Nanoseconds()))
+	r.em.windowLoadUS.Observe(wait.Microseconds())
+	r.em.windowPages.Observe(int64(len(pages)))
+	if r.tracer != nil {
+		r.tracer.Emit(obs.Event{Event: "window_pinned", Level: l + 1, Window: r.windowsPer[l] + 1,
+			Pages: len(pages), DurUS: wait.Microseconds()})
+	}
 	if err := r.firstErr(); err != nil {
 		r.unloadWindow(l, lw)
 		return nil, err
@@ -363,6 +396,7 @@ func (r *run) computeChildCandidates(l int) {
 			}
 			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 			out = dedupSorted(out)
+			r.em.candSize.Observe(int64(len(out)))
 			r.cand[g][childLevel] = candSeq{list: out}
 		}
 	}
@@ -381,6 +415,13 @@ func (r *run) clearChildCandidates(l int) {
 // dispatchInternal schedules internal subgraph enumeration over the level-0
 // window, chunked so workers share it.
 func (r *run) dispatchInternal(lw *levelWindow) {
+	if r.tracer != nil {
+		verts := 0
+		for g := range r.p.Groups {
+			verts += len(lw.verts[g])
+		}
+		r.tracer.Emit(obs.Event{Event: "internal_enum", Level: 1, Window: r.windowsPer[0], Verts: verts})
+	}
 	for g := range r.p.Groups {
 		verts := lw.verts[g]
 		if len(verts) == 0 {

@@ -1,27 +1,55 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"dualsim/internal/obs"
+)
 
 // workerPool is the enumeration thread pool. Internal and external tasks
 // share it, which realizes the paper's thread morphing: whichever kind of
 // work finishes first, idle workers immediately pick up the other kind.
+//
+// The pool counts submissions and completions so observers can see queue
+// depth and per-run task volume (Kimmig et al. identify work imbalance as
+// the dominant scaling limiter; these counters make it visible).
 type workerPool struct {
 	tasks   chan func()
 	pending sync.WaitGroup
 	done    sync.WaitGroup
+
+	// submitted/completed count tasks; their difference is the queue depth
+	// (queued + running). Engine-provided counters land directly in the
+	// metrics registry; standalone pools get private ones.
+	submitted *obs.Counter
+	completed *obs.Counter
 }
 
-func newWorkerPool(threads int) *workerPool {
+// newWorkerPool starts threads workers. submitted and completed, when
+// non-nil, receive the pool's task accounting (pass registry counters to
+// expose them); nil creates unregistered counters.
+func newWorkerPool(threads int, submitted, completed *obs.Counter) *workerPool {
 	if threads < 1 {
 		threads = 1
 	}
-	p := &workerPool{tasks: make(chan func(), 4*threads)}
+	if submitted == nil {
+		submitted = &obs.Counter{}
+	}
+	if completed == nil {
+		completed = &obs.Counter{}
+	}
+	p := &workerPool{
+		tasks:     make(chan func(), 4*threads),
+		submitted: submitted,
+		completed: completed,
+	}
 	p.done.Add(threads)
 	for i := 0; i < threads; i++ {
 		go func() {
 			defer p.done.Done()
 			for task := range p.tasks {
 				task()
+				p.completed.Inc()
 				p.pending.Done()
 			}
 		}()
@@ -32,8 +60,21 @@ func newWorkerPool(threads int) *workerPool {
 // submit schedules a task. Tasks must not submit further tasks (the pool
 // would deadlock while draining).
 func (p *workerPool) submit(task func()) {
+	p.submitted.Inc()
 	p.pending.Add(1)
 	p.tasks <- task
+}
+
+// stats returns the cumulative submitted and completed task counts.
+func (p *workerPool) stats() (submitted, completed uint64) {
+	return p.submitted.Value(), p.completed.Value()
+}
+
+// queueDepth returns the number of tasks submitted but not yet completed
+// (queued plus currently running).
+func (p *workerPool) queueDepth() int {
+	s, c := p.stats()
+	return int(s - c)
 }
 
 // drain blocks until every submitted task has finished.

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dualsim/internal/obs"
+)
+
+func TestWorkerPoolRunsEveryTask(t *testing.T) {
+	p := newWorkerPool(4, nil, nil)
+	defer p.close()
+	var ran atomic.Int64
+	const n = 500
+	for i := 0; i < n; i++ {
+		p.submit(func() { ran.Add(1) })
+	}
+	p.drain()
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d tasks, want %d", got, n)
+	}
+	s, c := p.stats()
+	if s != n || c != n {
+		t.Fatalf("stats = (%d submitted, %d completed), want (%d, %d)", s, c, n, n)
+	}
+	if d := p.queueDepth(); d != 0 {
+		t.Fatalf("queue depth after drain = %d, want 0", d)
+	}
+}
+
+func TestWorkerPoolQueueDepth(t *testing.T) {
+	p := newWorkerPool(2, nil, nil)
+	defer p.close()
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(2)
+	// Two blockers occupy both workers; two more tasks sit in the queue.
+	for i := 0; i < 2; i++ {
+		p.submit(func() {
+			started.Done()
+			<-release
+		})
+	}
+	started.Wait()
+	for i := 0; i < 2; i++ {
+		p.submit(func() {})
+	}
+	if d := p.queueDepth(); d != 4 {
+		t.Errorf("queue depth = %d, want 4 (2 running + 2 queued)", d)
+	}
+	close(release)
+	p.drain()
+	if d := p.queueDepth(); d != 0 {
+		t.Errorf("queue depth after drain = %d, want 0", d)
+	}
+}
+
+// TestWorkerPoolRegistryCounters checks engine-style wiring: counters from
+// a registry receive the pool's accounting.
+func TestWorkerPoolRegistryCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	sub := reg.Counter("dualsim_worker_tasks_submitted_total", "")
+	com := reg.Counter("dualsim_worker_tasks_completed_total", "")
+	p := newWorkerPool(3, sub, com)
+	for i := 0; i < 50; i++ {
+		p.submit(func() {})
+	}
+	p.close()
+	if sub.Value() != 50 || com.Value() != 50 {
+		t.Fatalf("registry counters = (%d, %d), want (50, 50)", sub.Value(), com.Value())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dualsim_worker_tasks_submitted_total"] != 50 {
+		t.Fatalf("snapshot missing worker counters: %+v", snap.Counters)
+	}
+}
+
+func TestWorkerPoolMinimumOneThread(t *testing.T) {
+	p := newWorkerPool(0, nil, nil)
+	defer p.close()
+	done := make(chan struct{})
+	p.submit(func() { close(done) })
+	<-done
+}
+
+// TestWorkerPoolCloseIdempotentDrain checks close after heavy concurrent
+// submission terminates cleanly (no leaked workers, all tasks ran).
+func TestWorkerPoolCloseDrains(t *testing.T) {
+	p := newWorkerPool(4, nil, nil)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.submit(func() { ran.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	p.close()
+	if got := ran.Load(); got != 400 {
+		t.Fatalf("close lost tasks: ran %d, want 400", got)
+	}
+}

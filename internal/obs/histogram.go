@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets covers non-negative int64 observations: bucket 0 holds the
+// value 0 and bucket i (i >= 1) holds values v with 2^(i-1) <= v < 2^i,
+// i.e. bits.Len64(v) == i. Upper bounds are therefore 0, 1, 3, 7, ...,
+// 2^i - 1 — fixed log-scale boundaries that need no configuration and
+// bucket any duration (ns), size, or count with ~2x relative error.
+const numBuckets = 65
+
+// Histogram is a streaming histogram with fixed power-of-two buckets.
+// Observe is lock-free: one atomic add into the bucket, one into the sum,
+// one into the count.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+}
+
+// bucketIndex returns the bucket for v (negative values clamp to 0).
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpperBound returns the inclusive upper bound of bucket i
+// (0, 1, 3, 7, ..., 2^i - 1).
+func BucketUpperBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(i)) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	if v > 0 {
+		h.sum.Add(v)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bucket is one histogram bucket in a snapshot: Count observations with
+// value <= UpperBound (cumulative, Prometheus-style).
+type Bucket struct {
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Buckets are
+// cumulative and trimmed after the last occupied raw bucket.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	last := -1
+	var raw [numBuckets]uint64
+	for i := 0; i < numBuckets; i++ {
+		raw[i] = h.buckets[i].Load()
+		if raw[i] > 0 {
+			last = i
+		}
+	}
+	cum := uint64(0)
+	for i := 0; i <= last; i++ {
+		cum += raw[i]
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: BucketUpperBound(i), Count: cum})
+	}
+	return s
+}
+
+// writePrometheus renders the histogram in the text exposition format.
+func (h *Histogram) writePrometheus(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	s := h.Snapshot()
+	for _, b := range s.Buckets {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.UpperBound, b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, s.Sum, name, s.Count)
+	return err
+}

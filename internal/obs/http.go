@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server serves a registry over HTTP:
+//
+//	/metrics       Prometheus text exposition format
+//	/debug/vars    expvar-style JSON snapshot of the same registry
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// It binds its own mux, so nothing leaks onto http.DefaultServeMux and
+// several engines can each serve their own registry.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve starts serving reg on addr (e.g. "localhost:6060"; ":0" picks a
+// free port — read it back with Addr). It returns once the listener is
+// bound; serving proceeds in a background goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{lis: lis, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

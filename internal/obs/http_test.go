@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dualsim_pages_read_total", "pages").Add(11)
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "dualsim_pages_read_total 11") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if snap.Counters["dualsim_pages_read_total"] != 11 {
+		t.Errorf("/debug/vars counter = %d, want 11", snap.Counters["dualsim_pages_read_total"])
+	}
+
+	code, _ = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	code, _ = get("/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestProgressReporter(t *testing.T) {
+	var mu strings.Builder
+	n := 0
+	stop := StartProgress(&syncWriter{b: &mu}, 5*time.Millisecond, func() string {
+		n++
+		return "tick"
+	})
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	out := mu.String()
+	if !strings.Contains(out, "tick") {
+		t.Errorf("no progress lines in %q", out)
+	}
+	if n < 2 {
+		t.Errorf("render called %d times, want >= 2 (periodic + final)", n)
+	}
+}
+
+// syncWriter serializes writes; strings.Builder alone is not safe for use
+// from the reporter goroutine plus the test goroutine.
+type syncWriter struct {
+	mu sync.Mutex
+	b  *strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// StartProgress prints render() to w every interval until the returned
+// stop function is called. One trailing line is printed at stop so short
+// runs still report their final state. Render runs on the reporter
+// goroutine; it must read only concurrency-safe state (registry metrics).
+func StartProgress(w io.Writer, interval time.Duration, render func() string) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(w, render())
+			case <-done:
+				fmt.Fprintln(w, render())
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,220 @@
+// Package obs is the engine's observability layer: a zero-dependency
+// metrics registry (atomic counters, gauges, and streaming log-scale
+// histograms), a structured JSONL tracer for window/stage lifecycle events,
+// an HTTP endpoint serving Prometheus text format, an expvar-style JSON
+// dump, and net/http/pprof, and a periodic progress reporter for long runs.
+//
+// The registry is built for hot paths: every metric is lock-free after
+// registration, and the engine increments them at window granularity (or
+// batched per worker task), so enabling metrics costs effectively nothing.
+// Tracing is off unless a Tracer is supplied; call sites guard on nil.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (possibly negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind discriminates registry entries for rendering.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+
+	counter     *Counter
+	gauge       *Gauge
+	counterFunc func() uint64
+	gaugeFunc   func() float64
+	hist        *Histogram
+}
+
+// Registry is a named collection of metrics. Registration takes a lock;
+// the returned metric objects are lock-free. All methods are safe for
+// concurrent use. Registering a name twice returns (or, for func-backed
+// metrics, replaces) the existing entry, so components may re-register
+// idempotently across engine restarts sharing one registry.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok && m.counter != nil {
+		return m.counter
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindCounter, counter: c}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok && m.gauge != nil {
+		return m.gauge
+	}
+	g := &Gauge{}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindGauge, gauge: g}
+	return g
+}
+
+// CounterFunc registers a counter whose value is read from f at render
+// time — used to surface counters maintained elsewhere (buffer pool,
+// retry reader) without double bookkeeping. Re-registering replaces f.
+func (r *Registry) CounterFunc(name, help string, f func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[name] = &metric{name: name, help: help, kind: kindCounterFunc, counterFunc: f}
+}
+
+// GaugeFunc registers a gauge computed by f at render time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[name] = &metric{name: name, help: help, kind: kindGaugeFunc, gaugeFunc: f}
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok && m.hist != nil {
+		return m.hist
+	}
+	h := &Histogram{}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindHistogram, hist: h}
+	return h
+}
+
+// sorted returns the metrics in name order (rendering determinism).
+func (r *Registry) sorted() []*metric {
+	r.mu.RLock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Snapshot is a point-in-time copy of every registered metric, suitable
+// for JSON marshaling (Result.Metrics, the CLI -json output, /debug/vars).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every metric.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case kindCounter:
+			s.Counters[m.name] = m.counter.Value()
+		case kindCounterFunc:
+			s.Counters[m.name] = m.counterFunc()
+		case kindGauge:
+			s.Gauges[m.name] = float64(m.gauge.Value())
+		case kindGaugeFunc:
+			s.Gauges[m.name] = m.gaugeFunc()
+		case kindHistogram:
+			s.Histograms[m.name] = m.hist.Snapshot()
+		}
+	}
+	return s
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.sorted() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value())
+		case kindCounterFunc:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counterFunc())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.gauge.Value())
+		case kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", m.name, m.name, m.gaugeFunc())
+		case kindHistogram:
+			err = m.hist.writePrometheus(w, m.name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders a Snapshot as one indented JSON object (the
+// /debug/vars payload).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the log-scale bucket layout: 0 is its
+// own bucket and bucket i holds exactly the values whose bit length is i,
+// so upper bounds run 0, 1, 3, 7, 15, ...
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{16, 5},
+		{1023, 10}, {1024, 11}, {2047, 11},
+		{1 << 40, 41},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	bounds := []struct {
+		i    int
+		want uint64
+	}{{0, 0}, {1, 1}, {2, 3}, {3, 7}, {11, 2047}, {64, ^uint64(0)}}
+	for _, c := range bounds {
+		if got := BucketUpperBound(c.i); got != c.want {
+			t.Errorf("BucketUpperBound(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+	// Every value must land in a bucket whose bound is >= it, with the
+	// previous bound < it (0 excepted).
+	for _, v := range []int64{0, 1, 2, 5, 100, 4096, 1 << 50} {
+		i := bucketIndex(v)
+		if ub := BucketUpperBound(i); uint64(v) > ub {
+			t.Errorf("value %d exceeds its bucket bound %d", v, ub)
+		}
+		if i > 0 {
+			if lb := BucketUpperBound(i - 1); uint64(v) <= lb {
+				t.Errorf("value %d at or below previous bucket bound %d", v, lb)
+			}
+		}
+	}
+}
+
+func TestHistogramSnapshotCumulative(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 2, 3, 4, 1024} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1034 {
+		t.Fatalf("sum = %d, want 1034", s.Sum)
+	}
+	// Cumulative counts at the known bounds.
+	want := map[uint64]uint64{0: 1, 1: 2, 3: 4, 7: 5, 2047: 6}
+	for _, b := range s.Buckets {
+		if w, ok := want[b.UpperBound]; ok && b.Count != w {
+			t.Errorf("bucket le=%d count %d, want %d", b.UpperBound, b.Count, w)
+		}
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.Count != s.Count {
+		t.Errorf("last bucket count %d != total %d", last.Count, s.Count)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines; run
+// with -race this vouches for the lock-free metric paths.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "")
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(seed + int64(i))
+				// Concurrent registration of the same names must be safe
+				// and return the same instances.
+				if r.Counter("c_total", "") != c {
+					t.Error("Counter returned a different instance")
+					return
+				}
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != workers*iters {
+		t.Errorf("gauge = %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+// TestWritePrometheusGolden pins the exact text exposition output for a
+// small registry.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dualsim_pages_read_total", "pages fetched from the device").Add(42)
+	r.Gauge("dualsim_worker_queue_depth", "tasks submitted but not completed").Set(3)
+	r.GaugeFunc("dualsim_buffer_hit_ratio", "hits / logical reads", func() float64 { return 0.75 })
+	r.CounterFunc("dualsim_windows_total", "windows processed", func() uint64 { return 7 })
+	h := r.Histogram("dualsim_candidate_size", "candidate list lengths")
+	h.Observe(0)
+	h.Observe(2)
+	h.Observe(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP dualsim_buffer_hit_ratio hits / logical reads
+# TYPE dualsim_buffer_hit_ratio gauge
+dualsim_buffer_hit_ratio 0.75
+# HELP dualsim_candidate_size candidate list lengths
+# TYPE dualsim_candidate_size histogram
+dualsim_candidate_size_bucket{le="0"} 1
+dualsim_candidate_size_bucket{le="1"} 1
+dualsim_candidate_size_bucket{le="3"} 3
+dualsim_candidate_size_bucket{le="+Inf"} 3
+dualsim_candidate_size_sum 5
+dualsim_candidate_size_count 3
+# HELP dualsim_pages_read_total pages fetched from the device
+# TYPE dualsim_pages_read_total counter
+dualsim_pages_read_total 42
+# HELP dualsim_windows_total windows processed
+# TYPE dualsim_windows_total counter
+dualsim_windows_total 7
+# HELP dualsim_worker_queue_depth tasks submitted but not completed
+# TYPE dualsim_worker_queue_depth gauge
+dualsim_worker_queue_depth 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(5)
+	r.Histogram("h", "").Observe(9)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &s); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v", err)
+	}
+	if s.Counters["a_total"] != 5 {
+		t.Errorf("counter a_total = %d, want 5", s.Counters["a_total"])
+	}
+	if s.Histograms["h"].Count != 1 || s.Histograms["h"].Sum != 9 {
+		t.Errorf("histogram h = %+v", s.Histograms["h"])
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record. The engine emits a fixed
+// vocabulary of lifecycle events per run and per window:
+//
+//	run_start     {levels, frames}
+//	window_open   {level, window, lo, hi, pages}
+//	window_pinned {level, window, pages, dur_us}   // I/O wait to pin the window
+//	internal_enum {level, window, verts}           // internal area dispatched
+//	external_enum {level, window, verts, dur_us}   // last-level matching drained
+//	window_close  {level, window, dur_us}
+//	run_end       {count, dur_us}
+//
+// plus retry-layer recovery events (retry_retry, retry_crc_reread,
+// retry_recovered, retry_exhausted) carrying {page, attempt} when the
+// resilient read path is active. Zero-valued fields are omitted from the
+// JSON encoding; Level and Window are 1-based.
+type Event struct {
+	TS      string `json:"ts,omitempty"` // RFC3339Nano, stamped by the tracer
+	Event   string `json:"event"`
+	Level   int    `json:"level,omitempty"`
+	Window  int    `json:"window,omitempty"`
+	Lo      uint64 `json:"lo,omitempty"`
+	Hi      uint64 `json:"hi,omitempty"`
+	Pages   int    `json:"pages,omitempty"`
+	Verts   int    `json:"verts,omitempty"`
+	Levels  int    `json:"levels,omitempty"`
+	Frames  int    `json:"frames,omitempty"`
+	Count   uint64 `json:"count,omitempty"`
+	Page    int64  `json:"page,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	DurUS   int64  `json:"dur_us,omitempty"`
+}
+
+// Tracer receives lifecycle events. Implementations must be safe for
+// concurrent use: the orchestrator emits window events while I/O workers
+// may emit retry events. A nil Tracer means tracing is disabled; emit
+// sites guard on nil so the disabled path costs one pointer comparison.
+type Tracer interface {
+	Emit(e Event)
+}
+
+// JSONLTracer writes each event as one JSON line. Safe for concurrent use.
+type JSONLTracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	now func() time.Time // test seam
+}
+
+// NewJSONLTracer returns a tracer writing JSONL to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{enc: json.NewEncoder(w), now: time.Now}
+}
+
+// Emit stamps and writes one event. Encoding errors are dropped: tracing
+// must never fail a run.
+func (t *JSONLTracer) Emit(e Event) {
+	if e.TS == "" {
+		e.TS = t.now().UTC().Format(time.RFC3339Nano)
+	}
+	t.mu.Lock()
+	_ = t.enc.Encode(e)
+	t.mu.Unlock()
+}

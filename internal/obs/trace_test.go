@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJSONLTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	tr.now = func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
+	tr.Emit(Event{Event: "window_open", Level: 1, Window: 1, Lo: 0, Hi: 99, Pages: 4})
+	tr.Emit(Event{Event: "window_close", Level: 1, Window: 1, DurUS: 1500})
+
+	var events []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Event != "window_open" || events[0].Pages != 4 || events[0].Hi != 99 {
+		t.Errorf("bad first event: %+v", events[0])
+	}
+	if events[1].Event != "window_close" || events[1].DurUS != 1500 {
+		t.Errorf("bad second event: %+v", events[1])
+	}
+	if !strings.HasPrefix(events[0].TS, "2026-08-05T12:00:00") {
+		t.Errorf("timestamp not stamped: %q", events[0].TS)
+	}
+}
+
+// TestJSONLTracerConcurrent checks emits from many goroutines produce one
+// valid JSON object per line (no interleaving).
+func TestJSONLTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tr.Emit(Event{Event: "retry_retry", Page: int64(n*1000 + j), Attempt: j})
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("corrupt line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if lines != 8*200 {
+		t.Errorf("got %d lines, want %d", lines, 8*200)
+	}
+}

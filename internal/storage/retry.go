@@ -38,6 +38,14 @@ type RetryPolicy struct {
 	Seed int64
 	// Sleep replaces time.Sleep, letting tests run without waiting.
 	Sleep func(time.Duration)
+	// OnEvent, when non-nil, is invoked for each recovery event so callers
+	// can trace the retry layer's activity: kind is "retry" (transient
+	// failure re-attempt issued), "crc_reread" (checksum-mismatch re-read),
+	// "recovered" (a read that failed at least once succeeded) or
+	// "exhausted" (the budget ran out). attempt is the 1-based attempt
+	// number the event followed. Called from whichever goroutine is
+	// reading, concurrently; implementations must be thread-safe and fast.
+	OnEvent func(kind string, pid PageID, attempt int)
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -139,6 +147,13 @@ func (r *RetryReader) backoff(attempt int) time.Duration {
 	return d
 }
 
+// event reports one recovery event to the policy hook, if set.
+func (r *RetryReader) event(kind string, pid PageID, attempt int) {
+	if r.policy.OnEvent != nil {
+		r.policy.OnEvent(kind, pid, attempt)
+	}
+}
+
 // ReadPageInto implements PageSource: it fetches pid into buf, verifying
 // the page checksum, retrying per the policy.
 func (r *RetryReader) ReadPageInto(pid PageID, buf []byte) error {
@@ -153,6 +168,7 @@ func (r *RetryReader) ReadPageInto(pid PageID, buf []byte) error {
 			if cerr == nil {
 				if failed {
 					r.recovered.Add(1)
+					r.event("recovered", pid, transientTries+crcTries+1)
 				}
 				return nil
 			}
@@ -162,9 +178,11 @@ func (r *RetryReader) ReadPageInto(pid PageID, buf []byte) error {
 				// declaring the page corrupt.
 				crcTries++
 				r.crcRereads.Add(1)
+				r.event("crc_reread", pid, crcTries)
 				continue
 			}
 			r.exhausted.Add(1)
+			r.event("exhausted", pid, transientTries+crcTries+1)
 			return cerr
 		}
 		failed = true
@@ -173,11 +191,13 @@ func (r *RetryReader) ReadPageInto(pid PageID, buf []byte) error {
 		}
 		if transientTries >= r.policy.MaxRetries {
 			r.exhausted.Add(1)
+			r.event("exhausted", pid, transientTries+1)
 			return fmt.Errorf("storage: page %d: retry budget exhausted after %d attempts: %w",
 				pid, transientTries+1, err)
 		}
 		r.policy.Sleep(r.backoff(transientTries))
 		transientTries++
 		r.retries.Add(1)
+		r.event("retry", pid, transientTries)
 	}
 }

@@ -211,6 +211,58 @@ func TestRetryReaderMixedTransientThenTorn(t *testing.T) {
 	}
 }
 
+// TestRetryReaderOnEventHook checks the observability hook sees every
+// recovery event in order, with the page and attempt identified.
+func TestRetryReaderOnEventHook(t *testing.T) {
+	type ev struct {
+		kind    string
+		pid     PageID
+		attempt int
+	}
+	var events []ev
+	src := newScriptedSource(t)
+	transient := NewTransientError(7, errors.New("hiccup"))
+	src.script = []func([]byte) error{failWith(transient), src.torn}
+	r := NewRetryReader(src, RetryPolicy{
+		MaxRetries: 2, CRCRetries: 1, Sleep: noSleep,
+		OnEvent: func(kind string, pid PageID, attempt int) {
+			events = append(events, ev{kind, pid, attempt})
+		},
+	})
+	buf := make([]byte, src.PageSize())
+	if err := r.ReadPageInto(7, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := []ev{{"retry", 7, 1}, {"crc_reread", 7, 1}, {"recovered", 7, 3}}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, events[i], want[i])
+		}
+	}
+
+	// Exhaustion is reported too.
+	events = nil
+	src2 := newScriptedSource(t)
+	for i := 0; i < 5; i++ {
+		src2.script = append(src2.script, failWith(transient))
+	}
+	r2 := NewRetryReader(src2, RetryPolicy{
+		MaxRetries: 1, Sleep: noSleep,
+		OnEvent: func(kind string, pid PageID, attempt int) {
+			events = append(events, ev{kind, pid, attempt})
+		},
+	})
+	if err := r2.ReadPageInto(7, buf); err == nil {
+		t.Fatal("want exhaustion error")
+	}
+	if len(events) == 0 || events[len(events)-1].kind != "exhausted" {
+		t.Fatalf("missing exhausted event: %v", events)
+	}
+}
+
 func TestRetryBackoffBoundedAndDeterministic(t *testing.T) {
 	policy := RetryPolicy{
 		MaxRetries: 8,
