@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench clean
+.PHONY: build test race vet fmt check bench smoke-serve clean
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,12 @@ check: vet
 # quiet machine for real numbers).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# smoke-serve exercises the query service end to end: build, serve the
+# karate-club database on a free port, query it over HTTP, SIGTERM, and
+# require a clean drain (exit 0).
+smoke-serve:
+	./scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

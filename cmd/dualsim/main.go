@@ -6,6 +6,7 @@
 //	dualsim build  -edges edges.txt -db graph.db [-pagesize 4096]
 //	dualsim run    -db graph.db -q q1 [-threads 4] [-buffer 0.15] [-timeout 30s] [-print]
 //	               [-json] [-metrics-addr :8080] [-trace events.jsonl] [-progress 1s]
+//	dualsim serve  -db graph.db -addr :8372 [-engines 4] [-queue 16] [-row-limit 100000]
 //	dualsim stats  -db graph.db
 //	dualsim verify -db graph.db
 //	dualsim compare -edges edges.txt -q q4    # DUALSIM vs TTJ vs PSgL
@@ -24,11 +25,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
+	"time"
 
 	"dualsim"
 )
@@ -58,6 +59,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -98,11 +101,15 @@ func runContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+func usage() { usageTo(os.Stderr) }
+
+func usageTo(w io.Writer) {
+	fmt.Fprintln(w, `usage:
   dualsim build  -edges <edges.txt> -db <graph.db> [-pagesize N]
   dualsim run    -db <graph.db> -q <q1..q5|edge list> [-threads N] [-buffer F] [-frames N] [-timeout D] [-retries N] [-print]
                  [-json] [-metrics-addr :8080] [-trace events.jsonl] [-progress 1s]
+  dualsim serve  -db <graph.db> [-addr :8372] [-engines N] [-queue N] [-queue-wait D] [-row-limit N]
+                 [-plan-cache N] [-buffer F] [-frames N] [-threads N] [-drain-timeout D]
   dualsim stats  -db <graph.db>
   dualsim verify -db <graph.db>
   dualsim compare -edges <edges.txt> -q <query> [-workers N] [-mem MiB]
@@ -130,34 +137,7 @@ func cmdBuild(args []string) error {
 }
 
 func parseQuery(spec string) (*dualsim.Query, error) {
-	if q, err := dualsim.QueryByName(spec); err == nil {
-		return q, nil
-	}
-	// Explicit edge list: "0-1,1-2,0-2".
-	var edges [][2]int
-	maxV := -1
-	for _, part := range strings.Split(spec, ",") {
-		uv := strings.SplitN(strings.TrimSpace(part), "-", 2)
-		if len(uv) != 2 {
-			return nil, fmt.Errorf("bad query edge %q (want e.g. 0-1,1-2,0-2)", part)
-		}
-		u, err := strconv.Atoi(uv[0])
-		if err != nil {
-			return nil, err
-		}
-		v, err := strconv.Atoi(uv[1])
-		if err != nil {
-			return nil, err
-		}
-		if u > maxV {
-			maxV = u
-		}
-		if v > maxV {
-			maxV = v
-		}
-		edges = append(edges, [2]int{u, v})
-	}
-	return dualsim.NewQuery("custom", maxV+1, edges)
+	return dualsim.ParseQuery(spec)
 }
 
 func cmdQuery(args []string) error {
@@ -243,6 +223,66 @@ func cmdQuery(args []string) error {
 	fmt.Printf("prep %v, exec %v, %d physical reads, %d frames, %d level-1 windows, %d red vertices in %d v-groups\n",
 		res.PrepTime, res.ExecTime, res.PhysicalReads, res.BufferFrames, res.Level1Windows,
 		res.RedVertices, res.VGroups)
+	return nil
+}
+
+// cmdServe runs the long-lived query service until SIGINT/SIGTERM, then
+// drains gracefully: in-flight queries finish (bounded by -drain-timeout),
+// new requests get 503, and the process exits 0.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database path")
+	addr := fs.String("addr", ":8372", "listen address (\":0\" picks a free port)")
+	engines := fs.Int("engines", 0, "engine pool size = concurrent queries (0 = default 2)")
+	queue := fs.Int("queue", 0, "admission queue depth (0 = 4x engines)")
+	queueWait := fs.Duration("queue-wait", 0, "max time a queued request waits for an engine (0 = 2s)")
+	rowLimit := fs.Int("row-limit", 0, "cap on streamed embedding rows per request (0 = 100000)")
+	planCache := fs.Int("plan-cache", 0, "plan cache entries (0 = 64)")
+	buffer := fs.Float64("buffer", 0.15, "global buffer budget as a fraction of the database, divided across engines")
+	frames := fs.Int("frames", 0, "global buffer budget in frames (overrides -buffer), divided across engines")
+	threads := fs.Int("threads", 0, "worker threads per engine (0 = GOMAXPROCS/engines)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to let in-flight queries finish after SIGTERM")
+	fs.Parse(args)
+	if *dbPath == "" {
+		return fmt.Errorf("serve: -db is required")
+	}
+	db, err := dualsim.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	srv, err := db.NewServer(dualsim.ServerConfig{
+		Engines:       *engines,
+		QueueDepth:    *queue,
+		QueueWait:     *queueWait,
+		RowLimit:      *rowLimit,
+		PlanCacheSize: *planCache,
+		Engine: dualsim.Options{
+			Threads:        *threads,
+			BufferFraction: *buffer,
+			BufferFrames:   *frames,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Listen(*addr); err != nil {
+		return err
+	}
+	// The bound address goes to stdout so scripts using -addr :0 can read
+	// the port back.
+	fmt.Printf("serving %s on %s (POST /query, GET /stats, GET /metrics)\n", *dbPath, srv.Addr())
+
+	ctx, stop := runContext()
+	defer stop()
+	<-ctx.Done()
+	stop() // further signals kill the process the usual way
+	fmt.Fprintf(os.Stderr, "draining (up to %v)...\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
 	return nil
 }
 

@@ -4,10 +4,13 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"dualsim"
 )
@@ -158,4 +161,82 @@ func TestCmdQueryHumanOutput(t *testing.T) {
 	if want := "query q1-triangle: 2 occurrences"; !strings.Contains(out, want) {
 		t.Errorf("output %q missing %q", out, want)
 	}
+}
+
+// TestUsageListsAllSubcommands keeps the usage text in sync with the
+// dispatcher: every subcommand main routes must be advertised.
+func TestUsageListsAllSubcommands(t *testing.T) {
+	var buf strings.Builder
+	usageTo(&buf)
+	out := buf.String()
+	for _, sub := range []string{"build", "run", "serve", "stats", "verify", "compare"} {
+		if !strings.Contains(out, "dualsim "+sub) {
+			t.Errorf("usage does not list subcommand %q:\n%s", sub, out)
+		}
+	}
+}
+
+// TestCmdServeRoundTrip exercises the serve subcommand end to end inside the
+// test process: start it on a free port, read the bound address off stdout,
+// post a query, then deliver SIGTERM and require a clean (nil-error) drain.
+func TestCmdServeRoundTrip(t *testing.T) {
+	dbPath := buildTestDB(t)
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	served := make(chan error, 1)
+	go func() {
+		served <- cmdServe([]string{"-db", dbPath, "-addr", "127.0.0.1:0", "-engines", "2", "-frames", "16", "-drain-timeout", "10s"})
+	}()
+
+	// The first stdout line carries the bound address.
+	line, err := bufio.NewReader(r).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(line)
+	var addr string
+	for i, f := range fields {
+		if f == "on" && i+1 < len(fields) {
+			addr = fields[i+1]
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no address in serve output %q", line)
+	}
+
+	resp, err := http.Post("http://"+addr+"/query", "application/json",
+		strings.NewReader(`{"query":"q1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Count uint64 `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.Count != 2 {
+		t.Errorf("served count = %d, want 2 triangles", res.Count)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Errorf("cmdServe returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("cmdServe did not drain after SIGTERM")
+	}
+	w.Close()
 }

@@ -7,6 +7,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -114,6 +115,13 @@ type Database interface {
 	Degree(v graph.VertexID) int
 }
 
+// ErrEngineBusy reports an overlapping Run/RunContext on one Engine. The
+// buffer budget and path-pin accounting are planned per run, so concurrent
+// runs on a single engine would corrupt pool state; the guard makes the
+// misuse a defined, typed error instead. Use one engine per concurrent run
+// (see internal/server's engine pool).
+var ErrEngineBusy = errors.New("core: engine already has a run in flight (one Run at a time per Engine)")
+
 // Engine runs subgraph enumeration queries against one database.
 type Engine struct {
 	db      Database
@@ -123,6 +131,8 @@ type Engine struct {
 	frames  int
 	all     []graph.VertexID // every vertex ID, ascending (shared, read-only)
 	maxSpan int              // pages of the largest adjacency list
+
+	running atomic.Bool // guards against overlapping runs
 
 	reg    *obs.Registry
 	em     *engineMetrics
@@ -217,9 +227,22 @@ func (e *Engine) DB() Database { return e.db }
 // BufferFrames returns the pool capacity in pages.
 func (e *Engine) BufferFrames() int { return e.frames }
 
+// PinnedFrames returns the number of buffer frames currently pinned. Zero
+// between runs; a non-zero value after a run returned indicates a pin leak,
+// which the serving layer treats as grounds to recycle the engine.
+func (e *Engine) PinnedFrames() int { return e.pool.PinnedCount() }
+
+// PoolStats returns the buffer pool's cumulative counters. The serving
+// layer aggregates these across its engine pool for the shared /metrics
+// endpoint.
+func (e *Engine) PoolStats() buffer.Stats { return e.pool.Stats() }
+
+// Busy reports whether a run is in flight.
+func (e *Engine) Busy() bool { return e.running.Load() }
+
 // Run enumerates all occurrences of q and returns statistics. Safe to call
-// repeatedly; not safe for concurrent Runs on one Engine (the buffer budget
-// is planned per run).
+// repeatedly; an overlapping Run on the same Engine returns ErrEngineBusy
+// (the buffer budget is planned per run).
 func (e *Engine) Run(q *graph.Query) (*Result, error) {
 	return e.RunContext(context.Background(), q)
 }
@@ -243,6 +266,20 @@ func (e *Engine) RunPlan(p *plan.Plan) (*Result, error) {
 
 // RunPlanContext is RunPlan observing ctx and Options.Timeout.
 func (e *Engine) RunPlanContext(ctx context.Context, p *plan.Plan) (*Result, error) {
+	return e.RunPlanContextFunc(ctx, p, e.opts.OnMatch)
+}
+
+// RunPlanContextFunc is RunPlanContext with a per-run match callback
+// overriding Options.OnMatch (nil disables embedding delivery for this run).
+// Reusable engines — the server's pool hands one engine to many requests —
+// need the callback per run, not fixed at engine construction. The plan may
+// be shared: execution never mutates it, so one cached *Plan can serve
+// concurrent runs on different engines.
+func (e *Engine) RunPlanContextFunc(ctx context.Context, p *plan.Plan, onMatch func(m []graph.VertexID)) (*Result, error) {
+	if !e.running.CompareAndSwap(false, true) {
+		return nil, ErrEngineBusy
+	}
+	defer e.running.Store(false)
 	if e.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
@@ -276,7 +313,7 @@ func (e *Engine) RunPlanContext(ctx context.Context, p *plan.Plan) (*Result, err
 		alloc:   alloc,
 		cand:    make([][]candSeq, len(p.Groups)),
 		winData: make([]*levelWindow, p.K),
-		onMatch: e.opts.OnMatch,
+		onMatch: onMatch,
 		tracer:  e.tracer,
 		em:      e.em,
 	}

@@ -1,0 +1,221 @@
+package graph
+
+import (
+	"encoding/hex"
+	"sort"
+)
+
+// CanonicalCode computes a canonical form of q's isomorphism class: two
+// queries receive the same code if and only if they are isomorphic. It also
+// returns the canonicalizing permutation perm, with perm[v] = the position of
+// query vertex v in the canonical labeling, so that relabeling q by perm
+// (see Relabel) yields the canonical representative of the class.
+//
+// The code is found by degree-refined backtracking: vertices are first
+// partitioned by iterated neighborhood-degree refinement (1-WL colors, an
+// isomorphism invariant), then a pruned search over the class-respecting
+// permutations picks the lexicographically smallest adjacency-matrix
+// encoding. Queries are tiny (the planner rejects more than 10 red
+// vertices), so the search is microseconds in practice; the theoretical
+// worst case is the fully symmetric query (clique/cycle), where refinement
+// cannot split classes.
+func CanonicalCode(q *Query) (string, []int) {
+	n := q.NumVertices()
+	colors := refineColors(q)
+
+	// Target color for each canonical position: sorted ascending, so
+	// position 0 always holds a vertex of the smallest color class.
+	target := make([]int, n)
+	copy(target, colors)
+	sort.Ints(target)
+
+	// Candidate vertices per position, grouped by color.
+	byColor := make(map[int][]int)
+	for v := 0; v < n; v++ {
+		byColor[colors[v]] = append(byColor[colors[v]], v)
+	}
+
+	// rows[p] holds the adjacency bits between position p and positions
+	// 0..p-1 under the current assignment, one byte per bit (cheap to
+	// compare lexicographically).
+	cur := make([][]byte, n)
+	best := make([][]byte, n)
+	for p := 0; p < n; p++ {
+		cur[p] = make([]byte, p)
+		best[p] = make([]byte, p)
+	}
+	assign := make([]int, n)     // assign[pos] = vertex
+	bestAssign := make([]int, n) // assignment achieving best
+	used := make([]bool, n)
+	haveBest := false
+
+	// tight: the prefix rows equal best's prefix; only then can a deeper
+	// row still exceed best and force a prune.
+	var rec func(pos int, tight bool)
+	rec = func(pos int, tight bool) {
+		if pos == n {
+			if !haveBest || !tight {
+				haveBest = true
+				for p := 0; p < n; p++ {
+					copy(best[p], cur[p])
+				}
+				copy(bestAssign, assign)
+			}
+			return
+		}
+		for _, v := range byColor[target[pos]] {
+			if used[v] {
+				continue
+			}
+			row := cur[pos]
+			for j := 0; j < pos; j++ {
+				if q.HasEdge(v, assign[j]) {
+					row[j] = 1
+				} else {
+					row[j] = 0
+				}
+			}
+			childTight := tight
+			if haveBest && tight {
+				c := compareRow(row, best[pos])
+				if c > 0 {
+					continue // prefix already worse than best
+				}
+				if c < 0 {
+					childTight = false
+				}
+			}
+			assign[pos] = v
+			used[v] = true
+			rec(pos+1, childTight)
+			used[v] = false
+		}
+	}
+	rec(0, true)
+
+	perm := make([]int, n)
+	for pos, v := range bestAssign {
+		perm[v] = pos
+	}
+	return encodeRows(n, best), perm
+}
+
+func compareRow(a, b []byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return int(a[i]) - int(b[i])
+		}
+	}
+	return 0
+}
+
+// encodeRows packs the canonical upper-triangle bits into a compact string:
+// "<n>:" followed by the hex of the bit stream (row-major over rows[p][j]).
+func encodeRows(n int, rows [][]byte) string {
+	nbits := n * (n - 1) / 2
+	buf := make([]byte, (nbits+7)/8)
+	i := 0
+	for p := 0; p < n; p++ {
+		for _, b := range rows[p] {
+			if b != 0 {
+				buf[i/8] |= 1 << uint(i%8)
+			}
+			i++
+		}
+	}
+	return string('a'+rune(n-1)) + ":" + hex.EncodeToString(buf)
+}
+
+// refineColors computes iterated neighborhood-degree refinement colors
+// (1-dimensional Weisfeiler-Leman). Colors are canonical across graphs:
+// the initial color is the degree, and each round re-ranks the signature
+// (own color, sorted neighbor colors) lexicographically, so isomorphic
+// vertices in different graphs always end with the same color.
+func refineColors(q *Query) []int {
+	n := q.NumVertices()
+	colors := make([]int, n)
+	for v := 0; v < n; v++ {
+		colors[v] = q.Degree(v)
+	}
+	for round := 0; round < n; round++ {
+		sigs := make([][]int, n)
+		for v := 0; v < n; v++ {
+			sig := []int{colors[v]}
+			for _, w := range q.Neighbors(v) {
+				sig = append(sig, colors[w])
+			}
+			sort.Ints(sig[1:])
+			sigs[v] = sig
+		}
+		uniq := make([][]int, 0, n)
+		for _, s := range sigs {
+			uniq = append(uniq, s)
+		}
+		sort.Slice(uniq, func(i, j int) bool { return lessIntSlice(uniq[i], uniq[j]) })
+		rank := make(map[string]int)
+		nextRank := 0
+		for i, s := range uniq {
+			k := intKey(s)
+			if i == 0 || lessIntSlice(uniq[i-1], s) {
+				rank[k] = nextRank
+				nextRank++
+			}
+		}
+		next := make([]int, n)
+		changed := false
+		for v := 0; v < n; v++ {
+			next[v] = rank[intKey(sigs[v])]
+			if next[v] != colors[v] {
+				changed = true
+			}
+		}
+		colors = next
+		if !changed {
+			break
+		}
+	}
+	return colors
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func intKey(s []int) string {
+	b := make([]byte, 0, len(s)*2)
+	for _, x := range s {
+		b = append(b, byte(x), byte(x>>8))
+	}
+	return string(b)
+}
+
+// Relabel returns a copy of q with vertex v renamed to perm[v]. perm must be
+// a permutation of 0..n-1.
+func Relabel(q *Query, perm []int, name string) (*Query, error) {
+	edges := make([][2]int, 0, q.NumEdges())
+	for _, e := range q.Edges() {
+		edges = append(edges, [2]int{perm[e[0]], perm[e[1]]})
+	}
+	return NewQuery(name, q.NumVertices(), edges)
+}
+
+// CanonicalQuery returns the canonical representative of q's isomorphism
+// class together with the permutation mapping q's vertices onto it
+// (perm[v] = canonical vertex for v). Isomorphic queries yield structurally
+// identical representatives, which makes the pair (code, representative) a
+// sound key and value for plan caching: a plan prepared for the
+// representative serves every member of the class, and an embedding m of the
+// representative maps back to the original query as m[perm[v]].
+func CanonicalQuery(q *Query, name string) (code string, canon *Query, perm []int, err error) {
+	code, perm = CanonicalCode(q)
+	canon, err = Relabel(q, perm, name)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return code, canon, perm, nil
+}

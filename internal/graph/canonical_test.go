@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomConnectedQuery builds a random connected query with qn vertices: a
+// random spanning tree plus a few extra edges.
+func randomConnectedQuery(rng *rand.Rand, qn int) *Query {
+	var edges [][2]int
+	for v := 1; v < qn; v++ {
+		edges = append(edges, [2]int{rng.Intn(v), v})
+	}
+	for i := 0; i < rng.Intn(qn+1); i++ {
+		a, b := rng.Intn(qn), rng.Intn(qn)
+		if a != b {
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	return MustNewQuery("rand", qn, edges)
+}
+
+// isomorphic decides query isomorphism with the existing brute-force
+// machinery: p and q are isomorphic iff they have the same vertex and edge
+// counts and q embeds injectively (edge-preserving) into p viewed as a data
+// graph — with |V| and |E| equal, any such injection is an isomorphism.
+func isomorphic(p, q *Query) bool {
+	if p.NumVertices() != q.NumVertices() || p.NumEdges() != q.NumEdges() {
+		return false
+	}
+	edges := make([][2]VertexID, 0, p.NumEdges())
+	for _, e := range p.Edges() {
+		edges = append(edges, [2]VertexID{VertexID(e[0]), VertexID(e[1])})
+	}
+	g := MustNewGraph(p.NumVertices(), edges)
+	found := false
+	BruteForceEnumerate(g, q, nil, func([]VertexID) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// TestCanonicalCodeIffIsomorphic is the satellite property test: for random
+// small query pairs, code equality must coincide exactly with isomorphism as
+// decided by the brute-force/automorphism machinery.
+func TestCanonicalCodeIffIsomorphic(t *testing.T) {
+	f := func(seed int64, an8, bn8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomConnectedQuery(rng, 3+int(an8%5))
+		b := randomConnectedQuery(rng, 3+int(bn8%5))
+		ca, _ := CanonicalCode(a)
+		cb, _ := CanonicalCode(b)
+		return (ca == cb) == isomorphic(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCanonicalCodeRelabelInvariant: relabeling by a random permutation never
+// changes the code, and the returned permutation canonicalizes: relabeling by
+// it yields a query whose canonical permutation is the identity.
+func TestCanonicalCodeRelabelInvariant(t *testing.T) {
+	f := func(seed int64, qn8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomConnectedQuery(rng, 3+int(qn8%5))
+		code, perm := CanonicalCode(q)
+
+		shuffled := rng.Perm(q.NumVertices())
+		rq, err := Relabel(q, shuffled, "shuffled")
+		if err != nil {
+			return false
+		}
+		rcode, _ := CanonicalCode(rq)
+		if rcode != code {
+			return false
+		}
+
+		canon, err := Relabel(q, perm, "canon")
+		if err != nil {
+			return false
+		}
+		ccode, cperm := CanonicalCode(canon)
+		if ccode != code {
+			return false
+		}
+		for v, p := range cperm {
+			if v != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCanonicalCodeCatalogDistinct: the five paper queries are pairwise
+// non-isomorphic, so their codes must be pairwise distinct.
+func TestCanonicalCodeCatalogDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, q := range PaperQueries() {
+		code, _ := CanonicalCode(q)
+		if prev, ok := seen[code]; ok {
+			t.Errorf("%s and %s share canonical code %q", prev, q.Name(), code)
+		}
+		seen[code] = q.Name()
+	}
+}
+
+// TestCanonicalQueryIsClassRepresentative: isomorphic queries map to
+// structurally identical representatives, and embeddings of the
+// representative translate back through the permutation.
+func TestCanonicalQueryIsClassRepresentative(t *testing.T) {
+	// Two labelings of the house query.
+	a := House()
+	shuffle := []int{3, 0, 4, 2, 1}
+	bRaw, err := Relabel(a, shuffle, "house-shuffled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeA, canonA, permA, err := CanonicalQuery(a, "canon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeB, canonB, permB, err := CanonicalQuery(bRaw, "canon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codeA != codeB {
+		t.Fatalf("codes differ: %q vs %q", codeA, codeB)
+	}
+	if canonA.String() != canonB.String() {
+		t.Fatalf("canonical representatives differ: %s vs %s", canonA, canonB)
+	}
+	// perm maps original vertices to canonical vertices edge-preservingly.
+	for _, e := range a.Edges() {
+		if !canonA.HasEdge(permA[e[0]], permA[e[1]]) {
+			t.Fatalf("permA drops edge %v", e)
+		}
+	}
+	for _, e := range bRaw.Edges() {
+		if !canonB.HasEdge(permB[e[0]], permB[e[1]]) {
+			t.Fatalf("permB drops edge %v", e)
+		}
+	}
+}

@@ -20,11 +20,11 @@ type Server struct {
 	srv *http.Server
 }
 
-// Serve starts serving reg on addr (e.g. "localhost:6060"; ":0" picks a
-// free port — read it back with Addr). It returns once the listener is
-// bound; serving proceeds in a background goroutine until Close.
-func Serve(addr string, reg *Registry) (*Server, error) {
-	mux := http.NewServeMux()
+// Register mounts the registry's HTTP handlers (/metrics, /debug/vars,
+// /debug/pprof/*) onto an existing mux, so other servers — the query
+// service's API mux in particular — can serve metrics alongside their own
+// routes.
+func Register(mux *http.ServeMux, reg *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -38,6 +38,14 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Serve starts serving reg on addr (e.g. "localhost:6060"; ":0" picks a
+// free port — read it back with Addr). It returns once the listener is
+// bound; serving proceeds in a background goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	mux := http.NewServeMux()
+	Register(mux, reg)
 
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {

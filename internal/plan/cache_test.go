@@ -1,0 +1,97 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dualsim/internal/graph"
+	"dualsim/internal/obs"
+)
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := NewCache(2)
+	mk := func(q *graph.Query) *Plan {
+		p, err := Prepare(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, ok := c.Get("tri"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("tri", mk(graph.Triangle()))
+	c.Put("sq", mk(graph.Square()))
+	if p, ok := c.Get("tri"); !ok || p.Query.Name() != "q1-triangle" {
+		t.Fatalf("tri lookup: ok=%v", ok)
+	}
+	// Third insert evicts the LRU entry ("sq": "tri" was touched above).
+	c.Put("house", mk(graph.House()))
+	if _, ok := c.Get("sq"); ok {
+		t.Fatal("sq survived eviction")
+	}
+	if _, ok := c.Get("tri"); !ok {
+		t.Fatal("tri evicted out of LRU order")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheRegisterMetrics(t *testing.T) {
+	c := NewCache(4)
+	reg := obs.NewRegistry()
+	c.Register(reg)
+	p, err := Prepare(graph.Triangle(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k", p)
+	c.Get("k")
+	c.Get("absent")
+	s := reg.Snapshot()
+	if s.Counters["dualsim_plan_cache_hits_total"] != 1 {
+		t.Errorf("hits = %d", s.Counters["dualsim_plan_cache_hits_total"])
+	}
+	if s.Counters["dualsim_plan_cache_misses_total"] != 1 {
+		t.Errorf("misses = %d", s.Counters["dualsim_plan_cache_misses_total"])
+	}
+	if s.Gauges["dualsim_plan_cache_size"] != 1 {
+		t.Errorf("size = %g", s.Gauges["dualsim_plan_cache_size"])
+	}
+	if r := s.Gauges["dualsim_plan_cache_hit_ratio"]; r != 0.5 {
+		t.Errorf("hit ratio = %g", r)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines; correctness is
+// "no race, no lost entries" under -race.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(8)
+	queries := graph.PaperQueries()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := queries[(w+i)%len(queries)]
+				key := fmt.Sprintf("k%d", (w+i)%len(queries))
+				if _, ok := c.Get(key); !ok {
+					p, err := Prepare(q, Options{})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					c.Put(key, p)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != len(queries) {
+		t.Errorf("len = %d, want %d", c.Len(), len(queries))
+	}
+}

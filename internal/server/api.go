@@ -1,0 +1,337 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dualsim/internal/core"
+	"dualsim/internal/graph"
+	"dualsim/internal/plan"
+	"dualsim/internal/storage"
+)
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Query is a catalog name (q1..q5, triangle, ...) or an edge list like
+	// "0-1,1-2,0-2".
+	Query string `json:"query"`
+	// Mode is "count" (default) or "embeddings" (NDJSON stream).
+	Mode string `json:"mode,omitempty"`
+	// Limit caps streamed embedding rows; clamped to the server's RowLimit.
+	Limit int `json:"limit,omitempty"`
+	// TimeoutMS bounds the run itself (0 = server default only).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// QueueWaitMS bounds the admission wait (0 = server default).
+	QueueWaitMS int64 `json:"queue_wait_ms,omitempty"`
+}
+
+// QueryResponse is the POST /query count-mode reply, and the trailer line
+// of an embeddings stream.
+type QueryResponse struct {
+	Query         string `json:"query"`
+	Count         uint64 `json:"count"`
+	Internal      uint64 `json:"internal,omitempty"`
+	External      uint64 `json:"external,omitempty"`
+	Rows          uint64 `json:"rows,omitempty"`
+	Truncated     bool   `json:"truncated,omitempty"`
+	PlanCached    bool   `json:"plan_cached"`
+	PrepNS        int64  `json:"prep_ns"`
+	ExecNS        int64  `json:"exec_ns"`
+	QueueNS       int64  `json:"queue_ns"`
+	PhysicalReads uint64 `json:"physical_reads"`
+	Done          bool   `json:"done"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// reject emits the 429 saturation reply. Retry-After is a best-effort hint:
+// one queue-wait's worth of backoff, in whole seconds (minimum 1).
+func (s *Server) reject(w http.ResponseWriter, reason string) {
+	retry := int(s.cfg.QueueWait / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeError(w, http.StatusTooManyRequests, "saturated: %s", reason)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Register with the drain barrier BEFORE the draining check: Drain sets
+	// the flag and then waits for the in-flight group, so this order
+	// guarantees every request that passes the check is waited for.
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.sm.requests.Inc()
+
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "missing \"query\"")
+		return
+	}
+	q, err := graph.ParseQuerySpec(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad query: %v", err)
+		return
+	}
+	streaming := false
+	switch req.Mode {
+	case "", "count":
+	case "embeddings":
+		streaming = true
+	default:
+		writeError(w, http.StatusBadRequest, "bad mode %q (want count or embeddings)", req.Mode)
+		return
+	}
+
+	p, perm, cached, err := s.planFor(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "planning: %v", err)
+		return
+	}
+
+	// Admission: bounded queue, bounded wait, per-request deadline.
+	queueWait := s.cfg.QueueWait
+	if req.QueueWaitMS > 0 {
+		if d := time.Duration(req.QueueWaitMS) * time.Millisecond; d < queueWait {
+			queueWait = d
+		}
+	}
+	waitCtx, cancelWait := context.WithTimeout(r.Context(), queueWait)
+	queueStart := time.Now()
+	eng, err := s.acquire(waitCtx)
+	cancelWait()
+	if err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.reject(w, "admission queue full")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.sm.rejectedWait.Inc()
+			s.reject(w, fmt.Sprintf("no engine free within %v", queueWait))
+		default: // client gave up while queued
+			s.sm.disconnects.Inc()
+		}
+		return
+	}
+	queueNS := time.Since(queueStart).Nanoseconds()
+	defer s.release(eng)
+	s.sm.active.Add(1)
+	defer s.sm.active.Add(-1)
+
+	// The run observes the client's context and the server's base context
+	// (cancelled by Close / expired Drain), whichever ends first.
+	runCtx, cancelRun := context.WithCancel(r.Context())
+	defer cancelRun()
+	stop := context.AfterFunc(s.baseCtx, cancelRun)
+	defer stop()
+	if req.TimeoutMS > 0 {
+		var cancelT context.CancelFunc
+		runCtx, cancelT = context.WithTimeout(runCtx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancelT()
+	}
+
+	if !streaming {
+		res, err := eng.RunPlanContextFunc(runCtx, p, nil)
+		if err != nil {
+			s.writeRunError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Query:         q.Name(),
+			Count:         res.Count,
+			Internal:      res.Internal,
+			External:      res.External,
+			PlanCached:    cached,
+			PrepNS:        res.PrepTime.Nanoseconds(),
+			ExecNS:        res.ExecTime.Nanoseconds(),
+			QueueNS:       queueNS,
+			PhysicalReads: res.IO.PhysicalReads,
+			Done:          true,
+		})
+		return
+	}
+	s.streamEmbeddings(w, r, req, q, p, perm, cached, eng, runCtx, cancelRun, queueNS)
+}
+
+// streamEmbeddings runs the query and writes one NDJSON line per embedding
+// ([v0,v1,...], query vertex i -> data vertex), then a QueryResponse
+// trailer. The stream is bounded by the row limit; hitting it (or losing
+// the client) cancels the run through its context, which releases every
+// buffer pin and returns the engine clean.
+func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req QueryRequest,
+	q *graph.Query, p *plan.Plan, perm []int, cached bool,
+	eng *core.Engine, runCtx context.Context, cancelRun context.CancelFunc, queueNS int64) {
+
+	limit := s.cfg.RowLimit
+	if req.Limit > 0 && req.Limit < limit {
+		limit = req.Limit
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	var mu sync.Mutex
+	var rows uint64
+	truncated := false
+	clientGone := false
+	onMatch := func(m []graph.VertexID) {
+		mu.Lock()
+		defer mu.Unlock()
+		if truncated || clientGone {
+			return
+		}
+		// Remap from the plan's (canonical) labeling to the request's: the
+		// data vertex for query vertex v sits at position perm[v].
+		row := make([]graph.VertexID, len(m))
+		for v := range row {
+			row[v] = m[perm[v]]
+		}
+		line, err := json.Marshal(row)
+		if err != nil {
+			return
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			clientGone = true
+			s.sm.disconnects.Inc()
+			cancelRun()
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		rows++
+		s.sm.rowsStreamed.Inc()
+		if rows >= uint64(limit) {
+			truncated = true
+			cancelRun()
+		}
+	}
+
+	res, err := eng.RunPlanContextFunc(runCtx, p, onMatch)
+	mu.Lock()
+	defer mu.Unlock()
+	switch {
+	case err == nil:
+		trailer := QueryResponse{
+			Query:         q.Name(),
+			Count:         res.Count,
+			Internal:      res.Internal,
+			External:      res.External,
+			Rows:          rows,
+			Truncated:     truncated,
+			PlanCached:    cached,
+			PrepNS:        res.PrepTime.Nanoseconds(),
+			ExecNS:        res.ExecTime.Nanoseconds(),
+			QueueNS:       queueNS,
+			PhysicalReads: res.IO.PhysicalReads,
+			Done:          true,
+		}
+		b, _ := json.Marshal(trailer)
+		_, _ = w.Write(append(b, '\n'))
+	case truncated:
+		trailer := QueryResponse{Query: q.Name(), Rows: rows, Truncated: true, PlanCached: cached, QueueNS: queueNS, Done: true}
+		b, _ := json.Marshal(trailer)
+		_, _ = w.Write(append(b, '\n'))
+	case clientGone || r.Context().Err() != nil:
+		// Nobody is listening; nothing to write. If the disconnect surfaced
+		// through the request context rather than a failed write, it has not
+		// been counted yet.
+		if !clientGone {
+			s.sm.disconnects.Inc()
+		}
+	default:
+		// Status already went out; surface the failure as a final line.
+		b, _ := json.Marshal(errorResponse{Error: err.Error()})
+		_, _ = w.Write(append(b, '\n'))
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// writeRunError maps run failures onto HTTP statuses: client cancellations
+// produce no body (the peer is gone), deadline hits are 504, storage
+// corruption and I/O trouble are 500 with the typed message.
+func (s *Server) writeRunError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case r.Context().Err() != nil:
+		s.sm.disconnects.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "run timed out: %v", err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "run cancelled: %v", err)
+	default:
+		var ce *storage.CorruptPageError
+		if errors.As(err, &ce) {
+			writeError(w, http.StatusInternalServerError, "data corruption: %v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "run failed: %v", err)
+	}
+}
+
+// StatsResponse is the GET /stats payload.
+type StatsResponse struct {
+	Vertices      int             `json:"vertices"`
+	Edges         uint64          `json:"edges"`
+	Pages         int             `json:"pages"`
+	PageSize      int             `json:"page_size"`
+	Engines       int             `json:"engines"`
+	EnginesIdle   int             `json:"engines_idle"`
+	QueueDepth    int             `json:"queue_depth"`
+	QueueCapacity int             `json:"queue_capacity"`
+	Requests      uint64          `json:"requests"`
+	Rejected      uint64          `json:"rejected"`
+	RowsStreamed  uint64          `json:"rows_streamed"`
+	PlanCache     plan.CacheStats `json:"plan_cache"`
+	Draining      bool            `json:"draining"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	engines := len(s.engines)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Vertices:      s.db.NumVertices(),
+		Edges:         s.db.NumEdges(),
+		Pages:         s.db.NumPages(),
+		PageSize:      s.db.PageSize(),
+		Engines:       engines,
+		EnginesIdle:   len(s.slots),
+		QueueDepth:    int(s.waiters.Load()),
+		QueueCapacity: s.cfg.QueueDepth,
+		Requests:      s.sm.requests.Value(),
+		Rejected:      s.sm.rejectedFull.Value() + s.sm.rejectedWait.Value(),
+		RowsStreamed:  s.sm.rowsStreamed.Value(),
+		PlanCache:     s.cache.Stats(),
+		Draining:      s.draining.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}

@@ -1,0 +1,426 @@
+// Package server is the long-lived query service over one opened database:
+// a bounded pool of reusable engines sharing the global buffer budget
+// (admission-controlled, with a bounded wait queue and 429-style rejection
+// when saturated), a plan cache keyed by the canonical form of the query
+// graph so repeated isomorphic queries skip preparation entirely, and an
+// HTTP/JSON API (POST /query, GET /stats, plus the observability endpoints)
+// with graceful drain.
+//
+// The shape follows the paper's cost model: DUALSIM's memory use is a fixed
+// buffer budget regardless of the number of partial matches (PAPER.md §5),
+// so a multi-tenant service on one machine divides that budget over a fixed
+// number of engines instead of fanning out unboundedly; and preparation
+// (plan.Prepare) is the per-query fixed cost the paper's Table 6 isolates,
+// which the canonical-form cache amortizes across isomorphic requests.
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dualsim/internal/core"
+	"dualsim/internal/graph"
+	"dualsim/internal/obs"
+	"dualsim/internal/plan"
+	"dualsim/internal/storage"
+)
+
+// maxCanonicalVertices bounds plan-cache participation: the canonical-code
+// search is degree-refined backtracking, fast for the paper-sized queries
+// the planner accepts (K <= 10) but worst-case factorial; larger queries
+// bypass the cache and pay Prepare per request.
+const maxCanonicalVertices = 10
+
+// Config sizes the service. The zero value serves with conservative
+// defaults: 2 engines, a queue of 4x the pool, 2s queue wait, 100k rows.
+type Config struct {
+	// Engines is the pool size: the number of concurrently running queries.
+	// The buffer budget in Engine (BufferFrames or BufferFraction) is the
+	// GLOBAL budget, divided evenly across the pool, mirroring the paper's
+	// fixed buffer budget for one machine.
+	Engines int
+	// QueueDepth bounds how many admitted requests may wait for an engine;
+	// beyond it requests are rejected immediately with 429.
+	QueueDepth int
+	// QueueWait bounds how long a queued request waits for an engine before
+	// a 429 (requests may ask for less via queue_wait_ms).
+	QueueWait time.Duration
+	// RowLimit caps embeddings rows streamed per request; requests may ask
+	// for less via limit. Runs are cancelled once the cap is reached.
+	RowLimit int
+	// PlanCacheSize bounds the canonical-form plan cache (LRU entries).
+	PlanCacheSize int
+	// Engine is the per-engine template. Metrics, OnMatch and buffer sizing
+	// are managed by the server (buffer fields are reinterpreted as the
+	// global budget; Threads defaults to GOMAXPROCS/Engines).
+	Engine core.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Engines <= 0 {
+		c.Engines = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Engines
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.RowLimit <= 0 {
+		c.RowLimit = 100_000
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 64
+	}
+	if c.Engine.Threads <= 0 {
+		c.Engine.Threads = runtime.GOMAXPROCS(0) / c.Engines
+		if c.Engine.Threads < 1 {
+			c.Engine.Threads = 1
+		}
+	}
+	return c
+}
+
+// Server is the query service. Create with New, expose with Listen (or
+// mount Handler yourself), stop with Drain (graceful) or Close (abrupt).
+type Server struct {
+	db  *storage.DB
+	cfg Config
+	reg *obs.Registry
+
+	cache *plan.Cache
+
+	mu      sync.Mutex     // guards engines (recycling swaps entries)
+	engines []*core.Engine // all pool members, for metric aggregation
+	slots   chan *core.Engine
+	waiters atomic.Int64
+
+	draining   atomic.Bool
+	inflight   sync.WaitGroup
+	baseCtx    context.Context // cancelled on Close / expired Drain: aborts runs
+	baseCancel context.CancelFunc
+
+	mux  *http.ServeMux
+	hsrv *http.Server
+	lis  net.Listener
+
+	start time.Time
+	sm    *serverMetrics
+}
+
+// New builds the service over db: the engine pool (dividing the configured
+// buffer budget), the plan cache, the metric families, and the HTTP mux.
+// It does not bind a listener; call Listen, or serve Handler yourself.
+func New(db *storage.DB, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	reg := cfg.Engine.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	s := &Server{
+		db:         db,
+		cfg:        cfg,
+		reg:        reg,
+		cache:      plan.NewCache(cfg.PlanCacheSize),
+		slots:      make(chan *core.Engine, cfg.Engines),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		start:      time.Now(),
+	}
+	for i := 0; i < cfg.Engines; i++ {
+		e, err := s.newEngine()
+		if err != nil {
+			baseCancel()
+			s.closeEngines()
+			return nil, fmt.Errorf("server: building engine %d/%d: %w", i+1, cfg.Engines, err)
+		}
+		s.engines = append(s.engines, e)
+		s.slots <- e
+	}
+	s.cache.Register(reg)
+	s.sm = registerServerMetrics(reg, s)
+	s.registerAggregatePoolMetrics()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	obs.Register(s.mux, reg)
+	return s, nil
+}
+
+// newEngine builds one pool member with its share of the global budget.
+func (s *Server) newEngine() (*core.Engine, error) {
+	opts := s.cfg.Engine
+	opts.Metrics = s.reg
+	opts.OnMatch = nil
+	if opts.BufferFrames > 0 {
+		opts.BufferFrames /= s.cfg.Engines
+	} else if opts.BufferFraction > 0 {
+		opts.BufferFraction /= float64(s.cfg.Engines)
+	}
+	return core.NewEngine(s.db, opts)
+}
+
+// registerAggregatePoolMetrics re-registers the buffer-pool metric families
+// to sum over every pool member. Each engine's registration points the
+// func-backed families at its own pool (last writer wins); with several
+// engines sharing one registry the service needs the fleet-wide view.
+func (s *Server) registerAggregatePoolMetrics() {
+	sum := func(f func(e *core.Engine) uint64) func() uint64 {
+		return func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var t uint64
+			for _, e := range s.engines {
+				t += f(e)
+			}
+			return t
+		}
+	}
+	s.reg.CounterFunc("dualsim_pages_read_total", "pages physically read from the device (all engines)",
+		sum(func(e *core.Engine) uint64 { return e.PoolStats().PhysicalReads }))
+	s.reg.CounterFunc("dualsim_logical_reads_total", "buffer pin requests, hit or miss (all engines)",
+		sum(func(e *core.Engine) uint64 { return e.PoolStats().LogicalReads }))
+	s.reg.CounterFunc("dualsim_buffer_hits_total", "pin requests satisfied without I/O (all engines)",
+		sum(func(e *core.Engine) uint64 { return e.PoolStats().Hits }))
+	s.reg.CounterFunc("dualsim_buffer_evictions_total", "buffer frames recycled (all engines)",
+		sum(func(e *core.Engine) uint64 { return e.PoolStats().Evictions }))
+	s.reg.CounterFunc("dualsim_buffer_pin_wait_nanos_total", "time pinners blocked on in-flight loads (all engines)",
+		sum(func(e *core.Engine) uint64 { return e.PoolStats().PinWaitNanos }))
+	s.reg.GaugeFunc("dualsim_buffer_hit_ratio", "buffer hits / logical reads (all engines)", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var hits, logical uint64
+		for _, e := range s.engines {
+			st := e.PoolStats()
+			hits += st.Hits
+			logical += st.LogicalReads
+		}
+		if logical == 0 {
+			return 0
+		}
+		return float64(hits) / float64(logical)
+	})
+}
+
+// Handler returns the service's mux: POST /query, GET /stats, /metrics,
+// /debug/vars, /debug/pprof/*.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the service's metric registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Listen binds addr (":0" picks a free port; read it back with Addr) and
+// serves in the background until Drain or Close.
+func (s *Server) Listen(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.lis = lis
+	s.hsrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.hsrv.Serve(lis) }()
+	return nil
+}
+
+// Addr returns the bound address, or "" before Listen.
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Drain gracefully stops the service: new requests get 503, queued and
+// in-flight requests run to completion, then engines close. If ctx expires
+// first, remaining runs are cancelled through their contexts (pins
+// released, engines left clean) and ctx.Err() is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.baseCancel() // cancels every in-flight run's context
+		<-done
+		err = ctx.Err()
+	}
+	if s.hsrv != nil {
+		// Handlers are done; this closes the listener and idle connections.
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.hsrv.Shutdown(shutCtx)
+	}
+	s.baseCancel()
+	s.closeEngines()
+	return err
+}
+
+// Close stops the service abruptly: in-flight runs are cancelled, the
+// listener closes, engines close.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.baseCancel()
+	if s.hsrv != nil {
+		_ = s.hsrv.Close()
+	}
+	s.inflight.Wait()
+	s.closeEngines()
+	return nil
+}
+
+func (s *Server) closeEngines() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.engines {
+		e.Close()
+	}
+	s.engines = nil
+}
+
+// planFor resolves q to an executable plan: canonicalize, consult the
+// cache, Prepare on miss. It returns the plan, the permutation mapping q's
+// vertices onto the plan's query (identity when the cache was bypassed),
+// and whether the plan came from the cache.
+func (s *Server) planFor(q *graph.Query) (*plan.Plan, []int, bool, error) {
+	popts := plan.Options{CoverMode: s.cfg.Engine.CoverMode, WorstOrder: s.cfg.Engine.WorstOrder}
+	if q.NumVertices() > maxCanonicalVertices {
+		p, err := plan.Prepare(q, popts)
+		return p, identityPerm(q.NumVertices()), false, err
+	}
+	code, canon, perm, err := graph.CanonicalQuery(q, q.Name())
+	if err != nil {
+		return nil, nil, false, err
+	}
+	key := fmt.Sprintf("%s|cover=%d|worst=%v", code, popts.CoverMode, popts.WorstOrder)
+	if p, ok := s.cache.Get(key); ok {
+		return p, perm, true, nil
+	}
+	// Prepare on the canonical representative, so every isomorphic query
+	// maps onto the same plan and the same embedding remapping rule.
+	p, err := plan.Prepare(canon, popts)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	s.cache.Put(key, p)
+	return p, perm, false, nil
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// errQueueFull distinguishes immediate saturation from queue-wait expiry.
+var errQueueFull = fmt.Errorf("server: admission queue full")
+
+// acquire admits the request to the engine pool: an idle engine if one is
+// free, else a bounded wait governed by ctx. Returns errQueueFull when the
+// queue bound is hit, ctx.Err() when the wait expires or the client leaves.
+func (s *Server) acquire(ctx context.Context) (*core.Engine, error) {
+	select {
+	case e := <-s.slots:
+		return e, nil
+	default:
+	}
+	if int(s.waiters.Add(1)) > s.cfg.QueueDepth {
+		s.waiters.Add(-1)
+		s.sm.rejectedFull.Inc()
+		return nil, errQueueFull
+	}
+	defer s.waiters.Add(-1)
+	start := time.Now()
+	select {
+	case e := <-s.slots:
+		s.sm.queueWaitUS.Observe(time.Since(start).Microseconds())
+		return e, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release returns an engine to the pool. An engine that came back with
+// pinned frames leaked a pin (a bug, or a run unwound abnormally); it is
+// closed and replaced rather than recycled, so one bad run cannot shrink
+// effective capacity for every later tenant.
+func (s *Server) release(e *core.Engine) {
+	if e.PinnedFrames() > 0 {
+		s.sm.recycled.Inc()
+		ne, err := s.newEngine()
+		s.mu.Lock()
+		for i, old := range s.engines {
+			if old == e {
+				if err == nil {
+					s.engines[i] = ne
+				} else {
+					s.engines = append(s.engines[:i], s.engines[i+1:]...)
+				}
+				break
+			}
+		}
+		s.mu.Unlock()
+		e.Close()
+		if err != nil {
+			log.Printf("dualsim/server: replacing leaky engine failed, pool shrinks to %d: %v", len(s.slots), err)
+			return
+		}
+		e = ne
+	}
+	s.slots <- e
+}
+
+// serverMetrics is the dualsim_server_* family.
+type serverMetrics struct {
+	requests     *obs.Counter
+	rejectedFull *obs.Counter
+	rejectedWait *obs.Counter
+	active       *obs.Gauge
+	queueWaitUS  *obs.Histogram
+	rowsStreamed *obs.Counter
+	disconnects  *obs.Counter
+	recycled     *obs.Counter
+}
+
+func registerServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
+	sm := &serverMetrics{
+		requests:     reg.Counter("dualsim_server_requests_total", "query requests received"),
+		rejectedFull: reg.Counter("dualsim_server_rejected_queue_full_total", "requests rejected with 429 because the wait queue was full"),
+		rejectedWait: reg.Counter("dualsim_server_rejected_deadline_total", "requests rejected with 429 because the queue wait deadline expired"),
+		active:       reg.Gauge("dualsim_server_active_requests", "requests currently running on an engine"),
+		queueWaitUS:  reg.Histogram("dualsim_server_queue_wait_us", "time admitted requests waited for an engine, microseconds"),
+		rowsStreamed: reg.Counter("dualsim_server_rows_streamed_total", "embedding rows streamed to clients"),
+		disconnects:  reg.Counter("dualsim_server_client_disconnects_total", "requests whose client vanished mid-stream (run cancelled)"),
+		recycled:     reg.Counter("dualsim_server_engines_recycled_total", "pool engines replaced because a run leaked buffer pins"),
+	}
+	reg.CounterFunc("dualsim_server_rejected_total", "requests rejected with 429 (queue full + deadline)", func() uint64 {
+		return sm.rejectedFull.Value() + sm.rejectedWait.Value()
+	})
+	reg.GaugeFunc("dualsim_server_queue_depth", "requests waiting for an engine", func() float64 {
+		return float64(s.waiters.Load())
+	})
+	reg.GaugeFunc("dualsim_server_engines_idle", "pool engines not running a query", func() float64 {
+		return float64(len(s.slots))
+	})
+	reg.GaugeFunc("dualsim_server_draining", "1 while the server refuses new work", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	return sm
+}

@@ -1,0 +1,517 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dualsim/internal/core"
+	"dualsim/internal/graph"
+	"dualsim/internal/storage"
+)
+
+// buildCompleteDB builds a database of the complete graph K_n (every query
+// count has a closed form, and triangles abound for streaming tests).
+func buildCompleteDB(t *testing.T, n, pageSize int) *storage.DB {
+	t.Helper()
+	var edges [][2]graph.VertexID
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]graph.VertexID{graph.VertexID(i), graph.VertexID(j)})
+		}
+	}
+	g := graph.MustNewGraph(n, edges)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.db")
+	if _, err := storage.BuildFromGraph(path, g, storage.BuildOptions{PageSize: pageSize, TempDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func newTestServer(t *testing.T, db *storage.DB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func postQuery(t *testing.T, addr string, req QueryRequest) (*http.Response, error) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return http.Post("http://"+addr+"/query", "application/json", bytes.NewReader(body))
+}
+
+func decodeQueryResponse(t *testing.T, resp *http.Response) QueryResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return qr
+}
+
+// TestE2EConcurrentClients is the acceptance scenario: 32 concurrent
+// clients against a pool of 4 engines complete correct counts, the plan
+// cache registers hits (clients alternate between two labelings of the
+// triangle), and the admission/queue metrics are visible at /metrics.
+func TestE2EConcurrentClients(t *testing.T) {
+	db := buildCompleteDB(t, 16, 256) // C(16,3) = 560 triangles
+	s := newTestServer(t, db, Config{
+		Engines:    4,
+		QueueDepth: 32,
+		QueueWait:  30 * time.Second,
+		Engine:     core.Options{Threads: 2, BufferFrames: 256},
+	})
+
+	const clients = 32
+	specs := []string{"q1", "0-1,1-2,0-2", "1-2,0-2,0-1"} // all triangles
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := postQuery(t, s.Addr(), QueryRequest{Query: specs[i%len(specs)]})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				errs[i] = fmt.Errorf("client %d: status %d: %s", i, resp.StatusCode, b)
+				return
+			}
+			qr := decodeQueryResponse(t, resp)
+			if qr.Count != 560 {
+				errs[i] = fmt.Errorf("client %d: count %d, want 560", i, qr.Count)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+
+	cs := s.cache.Stats()
+	if cs.Hits == 0 {
+		t.Errorf("plan cache hits = 0 after %d isomorphic queries (stats %+v)", clients, cs)
+	}
+	if cs.Size != 1 {
+		t.Errorf("plan cache size = %d, want 1 (all specs are isomorphic)", cs.Size)
+	}
+
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	text := string(metrics)
+	for _, family := range []string{
+		"dualsim_server_requests_total 32",
+		"dualsim_server_rejected_total",
+		"dualsim_server_queue_depth",
+		"dualsim_server_queue_wait_us",
+		"dualsim_plan_cache_hits_total",
+		"dualsim_plan_cache_hit_ratio",
+		"dualsim_runs_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("/metrics missing %q", family)
+		}
+	}
+
+	var st StatsResponse
+	sresp, err := http.Get("http://" + s.Addr() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != clients || st.Engines != 4 || st.PlanCache.Hits == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestSaturationQueueReject drives the saturation -> queue -> reject path:
+// with the single engine held, a request first waits out its queue deadline
+// (429), then with the queue occupied a second request is rejected
+// immediately (429 + Retry-After).
+func TestSaturationQueueReject(t *testing.T) {
+	db := buildCompleteDB(t, 8, 256)
+	s := newTestServer(t, db, Config{
+		Engines:    1,
+		QueueDepth: 1,
+		QueueWait:  5 * time.Second,
+		Engine:     core.Options{Threads: 1, BufferFrames: 64},
+	})
+
+	// Hold the only engine.
+	eng, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deadline path: empty queue, but no engine within queue_wait_ms.
+	resp, err := postQuery(t, s.Addr(), QueryRequest{Query: "q1", QueueWaitMS: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("deadline path: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("deadline path: missing Retry-After")
+	}
+
+	// Queue-full path: one long waiter occupies the queue; the next request
+	// is rejected immediately.
+	waiterDone := make(chan QueryResponse, 1)
+	go func() {
+		resp, err := postQuery(t, s.Addr(), QueryRequest{Query: "q1"})
+		if err != nil {
+			t.Error(err)
+			waiterDone <- QueryResponse{}
+			return
+		}
+		defer resp.Body.Close()
+		var qr QueryResponse
+		json.NewDecoder(resp.Body).Decode(&qr)
+		waiterDone <- qr
+	}()
+	// Wait for the waiter to register.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.waiters.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.waiters.Load() == 0 {
+		t.Fatal("waiter never queued")
+	}
+	resp2, err := postQuery(t, s.Addr(), QueryRequest{Query: "q1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full path: status %d, want 429", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Error("queue-full path: missing Retry-After")
+	}
+
+	// Release the engine: the queued waiter must complete correctly.
+	s.release(eng)
+	qr := <-waiterDone
+	if qr.Count != 56 { // C(8,3)
+		t.Errorf("queued waiter count = %d, want 56", qr.Count)
+	}
+
+	if got := s.sm.rejectedFull.Value(); got != 1 {
+		t.Errorf("rejected_queue_full = %d, want 1", got)
+	}
+	if got := s.sm.rejectedWait.Value(); got != 1 {
+		t.Errorf("rejected_deadline = %d, want 1", got)
+	}
+}
+
+// readNDJSON consumes an embeddings stream: rows until the trailer object.
+func readNDJSON(t *testing.T, body io.Reader) (rows [][]graph.VertexID, trailer QueryResponse) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("[")) {
+			var row []graph.VertexID
+			if err := json.Unmarshal(line, &row); err != nil {
+				t.Fatalf("bad row %q: %v", line, err)
+			}
+			rows = append(rows, row)
+			continue
+		}
+		if err := json.Unmarshal(line, &trailer); err != nil {
+			t.Fatalf("bad trailer %q: %v", line, err)
+		}
+	}
+	return rows, trailer
+}
+
+func TestEmbeddingsStreaming(t *testing.T) {
+	db := buildCompleteDB(t, 8, 256) // 56 triangles
+	s := newTestServer(t, db, Config{
+		Engines:  1,
+		RowLimit: 1000,
+		Engine:   core.Options{Threads: 1, BufferFrames: 64},
+	})
+
+	// Full stream: every row a valid triangle (pairwise adjacent in K8,
+	// i.e. distinct vertices), trailer carries the full count.
+	resp, err := postQuery(t, s.Addr(), QueryRequest{Query: "q1", Mode: "embeddings"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Errorf("content type %q", ct)
+	}
+	rows, trailer := readNDJSON(t, resp.Body)
+	resp.Body.Close()
+	if len(rows) != 56 || trailer.Count != 56 || !trailer.Done || trailer.Truncated {
+		t.Fatalf("rows=%d trailer=%+v", len(rows), trailer)
+	}
+	for _, row := range rows {
+		if len(row) != 3 || row[0] == row[1] || row[1] == row[2] || row[0] == row[2] {
+			t.Fatalf("bad embedding %v", row)
+		}
+	}
+
+	// Client-side limit truncates the stream and flags the trailer.
+	resp, err = postQuery(t, s.Addr(), QueryRequest{Query: "q1", Mode: "embeddings", Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, trailer = readNDJSON(t, resp.Body)
+	resp.Body.Close()
+	if len(rows) != 10 || !trailer.Truncated || !trailer.Done {
+		t.Fatalf("limited stream: rows=%d trailer=%+v", len(rows), trailer)
+	}
+
+	// Embeddings of an isomorphic relabeled triangle remap onto the
+	// request's labeling (positions differ, vertices valid).
+	resp, err = postQuery(t, s.Addr(), QueryRequest{Query: "1-2,0-2,0-1", Mode: "embeddings", Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, trailer = readNDJSON(t, resp.Body)
+	resp.Body.Close()
+	if len(rows) != 5 {
+		t.Fatalf("relabel stream: rows=%d trailer=%+v", len(rows), trailer)
+	}
+	if !trailer.PlanCached {
+		t.Error("relabeled triangle missed the plan cache")
+	}
+}
+
+// TestServerRowLimitClamp: the server-enforced cap applies even when the
+// request asks for more.
+func TestServerRowLimitClamp(t *testing.T) {
+	db := buildCompleteDB(t, 8, 256)
+	s := newTestServer(t, db, Config{
+		Engines:  1,
+		RowLimit: 7,
+		Engine:   core.Options{Threads: 1, BufferFrames: 64},
+	})
+	resp, err := postQuery(t, s.Addr(), QueryRequest{Query: "q1", Mode: "embeddings", Limit: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, trailer := readNDJSON(t, resp.Body)
+	resp.Body.Close()
+	if len(rows) != 7 || !trailer.Truncated {
+		t.Fatalf("rows=%d trailer=%+v", len(rows), trailer)
+	}
+}
+
+// TestClientDisconnectCancelsRun: a client that walks away mid-stream
+// cancels the run through its context; the engine comes back to the pool
+// with no pinned frames and the disconnect is counted.
+func TestClientDisconnectCancelsRun(t *testing.T) {
+	db := buildCompleteDB(t, 64, 256) // 41664 triangles
+	s := newTestServer(t, db, Config{
+		Engines:  1,
+		RowLimit: 1_000_000,
+		// A tiny buffer plus per-page latency keeps the run alive for seconds,
+		// far longer than the client sticks around.
+		Engine: core.Options{Threads: 1, BufferFrames: 8, PerPageLatency: 10 * time.Millisecond},
+	})
+
+	resp, err := postQuery(t, s.Addr(), QueryRequest{Query: "q1", Mode: "embeddings"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a couple of rows to prove the stream is live, then vanish.
+	br := bufio.NewReader(resp.Body)
+	for i := 0; i < 2; i++ {
+		if _, err := br.ReadString('\n'); err != nil {
+			t.Fatalf("reading row %d: %v", i, err)
+		}
+	}
+	resp.Body.Close()
+
+	// The engine must return to the pool, clean.
+	select {
+	case eng := <-s.slots:
+		if pins := eng.PinnedFrames(); pins != 0 {
+			t.Errorf("engine returned with %d pinned frames", pins)
+		}
+		s.slots <- eng
+	case <-time.After(10 * time.Second):
+		t.Fatal("engine never returned to the pool after client disconnect")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.sm.disconnects.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s.sm.disconnects.Value() == 0 {
+		t.Error("client disconnect not counted")
+	}
+}
+
+// TestDrainCompletesInflight: Drain lets the running query finish (correct
+// count), rejects new work with 503, and returns cleanly.
+func TestDrainCompletesInflight(t *testing.T) {
+	db := buildCompleteDB(t, 12, 256) // 220 triangles
+	s := newTestServer(t, db, Config{
+		Engines: 1,
+		Engine:  core.Options{Threads: 1, BufferFrames: 64, PerPageLatency: 5 * time.Millisecond},
+	})
+
+	inflightDone := make(chan QueryResponse, 1)
+	go func() {
+		resp, err := postQuery(t, s.Addr(), QueryRequest{Query: "q1"})
+		if err != nil {
+			t.Error(err)
+			inflightDone <- QueryResponse{}
+			return
+		}
+		defer resp.Body.Close()
+		var qr QueryResponse
+		json.NewDecoder(resp.Body).Decode(&qr)
+		inflightDone <- qr
+	}()
+
+	// Wait for the request to be on an engine.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.sm.active.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.sm.active.Value() == 0 {
+		t.Fatal("request never became active")
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+
+	// New work is refused while draining.
+	for s.draining.Load() == false && time.Now().Before(deadline) {
+		time.Sleep(1 * time.Millisecond)
+	}
+	resp, err := postQuery(t, s.Addr(), QueryRequest{Query: "q1"})
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("during drain: status %d, want 503", code)
+		}
+	} // a connection error is also acceptable once the listener closes
+
+	qr := <-inflightDone
+	if qr.Count != 220 {
+		t.Errorf("in-flight query count = %d, want 220", qr.Count)
+	}
+	if err := <-drained; err != nil {
+		t.Errorf("Drain: %v", err)
+	}
+}
+
+// TestExpiredDrainCancelsRuns: a drain deadline that passes cancels the
+// in-flight run through the base context instead of waiting forever.
+func TestExpiredDrainCancelsRuns(t *testing.T) {
+	db := buildCompleteDB(t, 24, 256)
+	s := newTestServer(t, db, Config{
+		Engines: 1,
+		Engine:  core.Options{Threads: 1, BufferFrames: 128, PerPageLatency: 20 * time.Millisecond},
+	})
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := postQuery(t, s.Addr(), QueryRequest{Query: "q1"})
+		if err != nil {
+			done <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.sm.active.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Drain(ctx)
+	if err == nil {
+		t.Error("expired Drain returned nil")
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Errorf("expired Drain took %v", took)
+	}
+	if code := <-done; code == http.StatusOK {
+		t.Error("cancelled run still returned 200")
+	}
+}
+
+// TestBadRequests covers the 400 family.
+func TestBadRequests(t *testing.T) {
+	db := buildCompleteDB(t, 6, 256)
+	s := newTestServer(t, db, Config{Engines: 1, Engine: core.Options{Threads: 1, BufferFrames: 64}})
+	for _, tc := range []struct {
+		name string
+		body string
+	}{
+		{"empty body", ""},
+		{"no query", `{}`},
+		{"bad spec", `{"query":"zzz"}`},
+		{"disconnected", `{"query":"0-1,2-3"}`},
+		{"bad mode", `{"query":"q1","mode":"explode"}`},
+	} {
+		resp, err := http.Post("http://"+s.Addr()+"/query", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}

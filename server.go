@@ -1,0 +1,99 @@
+package dualsim
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"dualsim/internal/core"
+	"dualsim/internal/graph"
+	"dualsim/internal/server"
+)
+
+// ErrEngineBusy is returned by Engine.Run/RunContext/Count when another run
+// is already in flight on the same Engine. An Engine executes one run at a
+// time; use one Engine per concurrent query (or a Server, which pools them).
+var ErrEngineBusy = core.ErrEngineBusy
+
+// ParseQuery resolves a query specification: a catalog name (q1..q5,
+// triangle, house, ...) or an explicit edge list like "0-1,1-2,0-2". The
+// CLI's -q flag and the Server's "query" field share this syntax.
+func ParseQuery(spec string) (*Query, error) { return graph.ParseQuerySpec(spec) }
+
+// ServerConfig sizes a Server. The zero value serves with conservative
+// defaults (2 engines, queue of 4x the pool, 2s queue wait, 100k row cap).
+type ServerConfig struct {
+	// Engines is the pool size — the number of queries running concurrently.
+	// The buffer budget in Engine (BufferFrames or BufferFraction) is the
+	// GLOBAL budget for the machine, divided evenly across the pool.
+	Engines int
+	// QueueDepth bounds how many admitted requests may wait for an engine;
+	// beyond it requests are rejected immediately with HTTP 429.
+	QueueDepth int
+	// QueueWait bounds how long a queued request waits for an engine before
+	// a 429; requests may ask for less via "queue_wait_ms".
+	QueueWait time.Duration
+	// RowLimit caps embeddings rows streamed per request; requests may ask
+	// for less via "limit". Hitting the cap cancels the run.
+	RowLimit int
+	// PlanCacheSize bounds the canonical-form plan cache (LRU entries).
+	PlanCacheSize int
+	// Engine is the per-engine template. Buffer sizing is reinterpreted as
+	// the global budget; Threads defaults to GOMAXPROCS divided across the
+	// pool. MetricsAddr, TraceWriter and progress options are ignored here —
+	// the Server serves /metrics itself, on its own mux.
+	Engine Options
+}
+
+// Server is a long-lived query service over one opened database: a bounded
+// pool of reusable engines behind admission control, a plan cache keyed by
+// the canonical form of the query graph (isomorphic queries share one
+// prepared plan), and an HTTP/JSON API:
+//
+//	POST /query    {"query":"q1","mode":"count"}            -> JSON result
+//	POST /query    {"query":"0-1,1-2,0-2","mode":"embeddings"} -> NDJSON rows
+//	GET  /stats    service and database snapshot
+//	GET  /metrics  Prometheus text format (plus /debug/vars, /debug/pprof)
+//
+// Saturation produces 429 with Retry-After. Stop with Drain (graceful:
+// in-flight queries finish) or Close (abrupt: runs are cancelled).
+type Server struct {
+	srv *server.Server
+}
+
+// NewServer builds the service over the database. It does not bind a
+// listener: call Listen, or mount Handler on a server of your own.
+func (d *DB) NewServer(cfg ServerConfig) (*Server, error) {
+	srv, err := server.New(d.db, server.Config{
+		Engines:       cfg.Engines,
+		QueueDepth:    cfg.QueueDepth,
+		QueueWait:     cfg.QueueWait,
+		RowLimit:      cfg.RowLimit,
+		PlanCacheSize: cfg.PlanCacheSize,
+		Engine:        cfg.Engine.coreOptions(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{srv: srv}, nil
+}
+
+// Handler returns the service's HTTP handler (POST /query, GET /stats,
+// /metrics, /debug/vars, /debug/pprof/*).
+func (s *Server) Handler() http.Handler { return s.srv.Handler() }
+
+// Listen binds addr (":0" picks a free port; read it back with Addr) and
+// serves in the background until Drain or Close.
+func (s *Server) Listen(addr string) error { return s.srv.Listen(addr) }
+
+// Addr returns the bound address, or "" before Listen.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Drain gracefully stops the service: new requests get 503, queued and
+// in-flight requests run to completion, then engines close. If ctx expires
+// first, remaining runs are cancelled cleanly and ctx.Err() is returned.
+func (s *Server) Drain(ctx context.Context) error { return s.srv.Drain(ctx) }
+
+// Close stops the service abruptly: in-flight runs are cancelled through
+// their contexts, the listener closes, engines close.
+func (s *Server) Close() error { return s.srv.Close() }
