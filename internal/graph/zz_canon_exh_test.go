@@ -1,0 +1,36 @@
+package graph
+
+import "testing"
+
+// Exhaustive: every graph on 6 vertices (with >=1 edge per vertex not
+// required; NewQuery may reject disconnected/empty — skip errors).
+func TestZZCanonExhaustive6(t *testing.T) {
+	n := 6
+	pairs := [][2]int{}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	total := 1 << len(pairs)
+	checked := 0
+	for mask := 0; mask < total; mask++ {
+		var edges [][2]int
+		for b, p := range pairs {
+			if mask&(1<<b) != 0 {
+				edges = append(edges, p)
+			}
+		}
+		q, err := NewQuery("x", n, edges)
+		if err != nil {
+			continue
+		}
+		code, _ := CanonicalCode(q)
+		want := bruteMin(q)
+		if code != want {
+			t.Fatalf("mask=%d edges=%v: CanonicalCode=%q bruteMin=%q", mask, edges, code, want)
+		}
+		checked++
+	}
+	t.Logf("checked %d graphs", checked)
+}

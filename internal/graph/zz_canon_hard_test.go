@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Random regular-ish and symmetric graphs up to n=9, checked against bruteMin.
+func TestZZCanonHard(t *testing.T) {
+	check := func(name string, edges [][2]int, n int) {
+		q, err := NewQuery(name, n, edges)
+		if err != nil {
+			return
+		}
+		code, _ := CanonicalCode(q)
+		want := bruteMin(q)
+		if code != want {
+			t.Fatalf("%s edges=%v: CanonicalCode=%q bruteMin=%q", name, edges, code, want)
+		}
+		// also relabel-invariance under 20 random perms
+		rng := rand.New(rand.NewSource(42))
+		for k := 0; k < 20; k++ {
+			p := rng.Perm(n)
+			rq, err := Relabel(q, p, "r")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc, _ := CanonicalCode(rq)
+			if rc != code {
+				t.Fatalf("%s perm %v: %q != %q", name, p, rc, code)
+			}
+		}
+	}
+
+	// circulants on n=8,9 (vertex-transitive, refinement-resistant)
+	for _, n := range []int{8, 9} {
+		for mask := 1; mask < 1<<(n/2); mask++ {
+			var edges [][2]int
+			for s := 1; s <= n/2; s++ {
+				if mask&(1<<(s-1)) == 0 {
+					continue
+				}
+				for v := 0; v < n; v++ {
+					w := (v + s) % n
+					if v < w {
+						edges = append(edges, [2]int{v, w})
+					}
+				}
+			}
+			check("circ", edges, n)
+		}
+	}
+
+	// random graphs n=8,9 (dense + sparse)
+	rng := rand.New(rand.NewSource(7))
+	for it := 0; it < 400; it++ {
+		n := 8 + rng.Intn(2)
+		den := 1 + rng.Intn(3)
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(4) < den {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		check("rand", edges, n)
+	}
+
+	// random 3-regular on 8 vertices via random perfect matchings union
+	for it := 0; it < 200; it++ {
+		n := 8
+		seen := map[[2]int]bool{}
+		var edges [][2]int
+		ok := true
+		for m := 0; m < 3 && ok; m++ {
+			p := rng.Perm(n)
+			for i := 0; i < n; i += 2 {
+				a, b := p[i], p[i+1]
+				if a > b {
+					a, b = b, a
+				}
+				e := [2]int{a, b}
+				if seen[e] {
+					ok = false
+					break
+				}
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+		if ok {
+			check("3reg", edges, n)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Brute-force reference: minimum encoding over ALL color-respecting
+// assignments (positions sorted by target color), no pruning.
+func bruteMin(q *Query) string {
+	n := q.NumVertices()
+	colors := refineColors(q)
+	target := make([]int, n)
+	copy(target, colors)
+	sort.Ints(target)
+	byColor := make(map[int][]int)
+	for v := 0; v < n; v++ {
+		byColor[colors[v]] = append(byColor[colors[v]], v)
+	}
+	assign := make([]int, n)
+	used := make([]bool, n)
+	best := ""
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == n {
+			rows := make([][]byte, n)
+			for p := 0; p < n; p++ {
+				rows[p] = make([]byte, p)
+				for j := 0; j < p; j++ {
+					if q.HasEdge(assign[p], assign[j]) {
+						rows[p][j] = 1
+					}
+				}
+			}
+			enc := encodeRows(n, rows)
+			// compare bitstreams properly: same length always, so string compare of hex works? hex of packed bits is not lexicographic on the bit stream. Compare raw rows instead.
+			if best == "" || lessEnc(rows, bestRows) {
+				best = enc
+				bestRows = cloneRows(rows)
+			}
+			return
+		}
+		for _, v := range byColor[target[pos]] {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			assign[pos] = v
+			rec(pos + 1)
+			used[v] = false
+		}
+	}
+	bestRows = nil
+	rec(0)
+	return best
+}
+
+var bestRows [][]byte
+
+func cloneRows(r [][]byte) [][]byte {
+	out := make([][]byte, len(r))
+	for i := range r {
+		out[i] = append([]byte(nil), r[i]...)
+	}
+	return out
+}
+
+func lessEnc(a, b [][]byte) bool {
+	for p := range a {
+		for j := range a[p] {
+			if a[p][j] != b[p][j] {
+				return a[p][j] < b[p][j]
+			}
+		}
+	}
+	return false
+}
+
+func TestZZCanonMinimality(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6) // 3..8 (brute force factorial)
+		q := randomConnectedQuery(rng, n)
+		code, _ := CanonicalCode(q)
+		want := bruteMin(q)
+		if code != want {
+			t.Fatalf("seed=%d n=%d: CanonicalCode=%q bruteMin=%q edges=%v", seed, n, code, want, q.Edges())
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZZCanonP8Invariance(t *testing.T) {
+	n := 8
+	var edges [][2]int
+	for v := 0; v < n-1; v++ {
+		edges = append(edges, [2]int{v, v + 1})
+	}
+	q := MustNewQuery("p8", n, edges)
+	code, _ := CanonicalCode(q)
+	rng := rand.New(rand.NewSource(3))
+	codes := map[string]bool{code: true}
+	for k := 0; k < 200; k++ {
+		p := rng.Perm(n)
+		rq, err := Relabel(q, p, "r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, _ := CanonicalCode(rq)
+		codes[rc] = true
+	}
+	if len(codes) > 1 {
+		t.Fatalf("P8 produced %d distinct canonical codes for isomorphic relabelings: %v", len(codes), codes)
+	}
+}

@@ -1,0 +1,27 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Stress: code must be invariant under relabeling, for many sizes/seeds.
+func TestZZCanonStress(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8) // 3..10
+		q := randomConnectedQuery(rng, n)
+		code, _ := CanonicalCode(q)
+		for k := 0; k < 10; k++ {
+			p := rng.Perm(n)
+			rq, err := Relabel(q, p, "r")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc, _ := CanonicalCode(rq)
+			if rc != code {
+				t.Fatalf("seed=%d n=%d perm=%v: code %q != %q (query edges %v)", seed, n, p, rc, code, q.Edges())
+			}
+		}
+	}
+}
