@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench smoke-serve clean
+.PHONY: build test race vet fmt lint check bench bench-book bench-book-check smoke-serve clean
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,16 @@ vet:
 fmt:
 	gofmt -l .
 
+# lint runs vet plus the in-repo godoc linter (a stdlib stand-in for
+# revive's `exported` rule), gated to the packages whose exported surface
+# doubles as the paper-concept glossary.
+lint: vet
+	$(GO) run ./cmd/lintdoc ./internal/graph ./internal/core
+
 # check is the full pre-commit gate: static analysis plus the race-enabled
 # test suite (the robustness tests exercise concurrent cancellation paths
 # that only -race can vouch for).
-check: vet
+check: lint
 	$(GO) test -race ./...
 
 # bench runs every benchmark once — a smoke test that the benchmark harness
@@ -28,6 +34,17 @@ check: vet
 # quiet machine for real numbers).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-book regenerates docs/BENCHMARKS.md (the committed benchmark book)
+# from a fresh run of the kernel and window-enumeration benchmarks. Run on
+# a quiet machine and commit the result whenever those benchmarks change.
+bench-book:
+	$(GO) run ./cmd/benchbook -write
+
+# bench-book-check fails if the committed book's benchmark set no longer
+# matches what the code produces (CI's staleness gate; numbers may differ).
+bench-book-check:
+	$(GO) run ./cmd/benchbook -check -raw bench-raw.txt
 
 # smoke-serve exercises the query service end to end: build, serve the
 # karate-club database on a free port, query it over HTTP, SIGTERM, and

@@ -15,6 +15,7 @@ import (
 	"dualsim/internal/core"
 	"dualsim/internal/dataset"
 	"dualsim/internal/exp"
+	"dualsim/internal/gen"
 	"dualsim/internal/graph"
 	"dualsim/internal/rbi"
 	"dualsim/internal/storage"
@@ -146,6 +147,170 @@ func BenchmarkEnumerate(b *testing.B) {
 	}
 	b.Run("baseline", func(b *testing.B) { run(b, Options{}) })
 	b.Run("traced", func(b *testing.B) { run(b, Options{TraceWriter: io.Discard}) })
+}
+
+// --- intersection kernel micro-benchmarks ------------------------------------
+//
+// These feed docs/BENCHMARKS.md (make bench-book). Each benchmark fixes a
+// list-length shape and compares the three pairwise kernels; the adaptive
+// entry shows which kernel the dispatch picks for that shape.
+
+// benchIntersectLists builds two sorted duplicate-free lists. The large
+// list holds the even numbers 0..2(nl-1); the small list's ns elements are
+// spread evenly across that whole range (so a linear merge must walk all of
+// the large list), with every third element bumped to an odd miss.
+func benchIntersectLists(ns, nl int) (a, b []graph.VertexID) {
+	a = make([]graph.VertexID, ns)
+	stride := (2 * nl) / ns
+	if stride < 2 {
+		stride = 2
+	}
+	for i := range a {
+		v := i * stride
+		if i%3 == 0 {
+			v++ // odd: guaranteed miss
+		}
+		a[i] = graph.VertexID(v)
+	}
+	b = make([]graph.VertexID, nl)
+	for i := range b {
+		b[i] = graph.VertexID(2 * i)
+	}
+	return a, b
+}
+
+func benchIntersectShape(b *testing.B, ns, nl int) {
+	b.Helper()
+	small, large := benchIntersectLists(ns, nl)
+	dst := make([]graph.VertexID, 0, ns)
+	kernels := []struct {
+		name string
+		fn   func(a, bb, dst []graph.VertexID) []graph.VertexID
+	}{
+		{"linear", graph.IntersectSortedLinear},
+		{"gallop", graph.IntersectSortedGallop},
+		{"adaptive", graph.IntersectSorted},
+	}
+	for _, k := range kernels {
+		b.Run(k.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = k.fn(small, large, dst)
+			}
+			if len(dst) == 0 {
+				b.Fatal("empty intersection; fixture broken")
+			}
+		})
+	}
+}
+
+// BenchmarkIntersectBalanced: comparable list lengths — the linear merge's
+// home turf; the dispatch must pick it.
+func BenchmarkIntersectBalanced(b *testing.B) { benchIntersectShape(b, 4096, 8192) }
+
+// BenchmarkIntersectSkewed: 64 vs 65536 (1024x) — a low-degree vertex
+// against a hub; galloping territory.
+func BenchmarkIntersectSkewed(b *testing.B) { benchIntersectShape(b, 64, 65536) }
+
+// BenchmarkIntersectExtreme: 4 vs 1M — the paper-scale hub case from the
+// skew test matrix (1-vs-10^6).
+func BenchmarkIntersectExtreme(b *testing.B) { benchIntersectShape(b, 4, 1<<20) }
+
+// BenchmarkIntersectKWay: a 4-list ivory intersection, smallest-first
+// adaptive (arena) vs folding pairwise linear merges in given order.
+func BenchmarkIntersectKWay(b *testing.B) {
+	mk := func(step, n int) []graph.VertexID {
+		out := make([]graph.VertexID, n)
+		for i := range out {
+			out[i] = graph.VertexID(step * i)
+		}
+		return out
+	}
+	lists := [][]graph.VertexID{mk(2, 200000), mk(3, 120000), mk(30, 400), mk(5, 60000)}
+	b.Run("naive-ordered-linear", func(b *testing.B) {
+		b.ReportAllocs()
+		tmp := make([]graph.VertexID, 0, 200000)
+		tmp2 := make([]graph.VertexID, 0, 200000)
+		for i := 0; i < b.N; i++ {
+			cur := graph.IntersectSortedLinear(lists[0], lists[1], tmp)
+			cur = graph.IntersectSortedLinear(cur, lists[2], tmp2)
+			cur = graph.IntersectSortedLinear(cur, lists[3], tmp)
+			if len(cur) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("smallest-first-adaptive", func(b *testing.B) {
+		b.ReportAllocs()
+		ar := graph.NewArena()
+		work := make([][]graph.VertexID, len(lists))
+		for i := 0; i < b.N; i++ {
+			copy(work, lists)
+			if len(ar.IntersectK(0, work)) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+}
+
+// BenchmarkWindowEnum is the tentpole's acceptance benchmark: 4-clique
+// enumeration over the planted-hub skewed fixture with the whole database
+// buffered, so in-window enumeration (not I/O) dominates. The 4-clique
+// exercises every kernel: pairwise (2 red neighbors) and k-way (3 red
+// neighbors) ivory intersections over hub-length adjacency lists. "seed"
+// reproduces the seed engine's linear-merge kernels and static per-window
+// partitioning; "adaptive" is the default engine (galloping/k-way kernels +
+// bounded work-stealing). docs/BENCHMARKS.md records the measured ratio.
+func BenchmarkWindowEnum(b *testing.B) {
+	g := gen.PlantedHubs(30000, 24, 2500, 99)
+	dir := b.TempDir()
+	path := filepath.Join(dir, "hubs.db")
+	if _, err := storage.BuildFromGraph(path, g, storage.BuildOptions{PageSize: 4096, TempDir: dir}); err != nil {
+		b.Fatal(err)
+	}
+	db, err := storage.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+
+	run := func(b *testing.B, opts core.Options) {
+		b.Helper()
+		opts.Threads = 4
+		opts.BufferFraction = 1.0
+		eng, err := core.NewEngine(db, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		// Warm the buffer pool so every timed iteration measures in-window
+		// enumeration, not first-touch I/O.
+		if _, err := eng.Run(graph.Clique4()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Run(graph.Clique4())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Count == 0 {
+				b.Fatal("suspicious zero count")
+			}
+		}
+	}
+	b.Run("seed", func(b *testing.B) {
+		run(b, core.Options{LinearOnlyIntersect: true, StaticPartition: true})
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		run(b, core.Options{})
+	})
+	b.Run("kernels-only", func(b *testing.B) {
+		run(b, core.Options{StaticPartition: true})
+	})
+	b.Run("stealing-only", func(b *testing.B) {
+		run(b, core.Options{LinearOnlyIntersect: true})
+	})
 }
 
 // --- ablation benches (design choices from DESIGN.md §5) ----------------------

@@ -41,11 +41,23 @@ type Options struct {
 	// WorstOrder picks the Cartesian-maximizing global matching order.
 	// Ablation only.
 	WorstOrder bool
+	// LinearOnlyIntersect disables the adaptive intersection kernels:
+	// candidates are probed one binary search at a time as in the seed
+	// engine, with no galloping, no k-way materialization, and no scratch
+	// arena. Ablation only (BenchmarkWindowEnum's seed variant).
+	LinearOnlyIntersect bool
+	// StaticPartition disables bounded work-stealing: internal enumeration
+	// work is chunked once per window and never rebalanced, so a skewed
+	// high-degree candidate region stalls its window on one worker.
+	// Ablation only (BenchmarkWindowEnum's seed variant).
+	StaticPartition bool
 	// IOWorkers is the number of asynchronous I/O goroutines (default 4).
 	IOWorkers int
-	// PerPageLatency and SeekLatency simulate device characteristics.
+	// PerPageLatency simulates per-page device transfer latency.
 	PerPageLatency time.Duration
-	SeekLatency    time.Duration
+	// SeekLatency simulates device positioning latency, charged once per
+	// read request regardless of its page count.
+	SeekLatency time.Duration
 	// Timeout bounds each run; zero means no deadline. RunContext callers
 	// get whichever is stricter, their context or this.
 	Timeout time.Duration
@@ -78,13 +90,18 @@ type Options struct {
 type Result struct {
 	// Count is the number of embeddings found (each occurrence once).
 	Count uint64
-	// Internal and External split Count by where the red match resided.
+	// Internal counts embeddings whose red match lay entirely inside the
+	// window's internal area (in-window enumeration).
 	Internal uint64
+	// External counts embeddings found by the external traversal, i.e.
+	// red matches spanning the window boundary.
 	External uint64
 	// Plan is the preparation output.
 	Plan *plan.Plan
-	// PrepTime and ExecTime are the two phases' durations.
+	// PrepTime is the preparation phase duration (matching order, RBI
+	// transform, window planning).
 	PrepTime time.Duration
+	// ExecTime is the enumeration phase duration.
 	ExecTime time.Duration
 	// IO holds the buffer activity during execution.
 	IO buffer.Stats
@@ -306,17 +323,19 @@ func (e *Engine) RunPlanContextFunc(ctx context.Context, p *plan.Plan, onMatch f
 	}
 
 	r := &run{
-		ctx:     ctx,
-		e:       e,
-		p:       p,
-		k:       p.K,
-		alloc:   alloc,
-		cand:    make([][]candSeq, len(p.Groups)),
-		winData: make([]*levelWindow, p.K),
-		onMatch: onMatch,
-		tracer:  e.tracer,
-		em:      e.em,
+		ctx:      ctx,
+		e:        e,
+		p:        p,
+		k:        p.K,
+		alloc:    alloc,
+		cand:     make([][]candSeq, len(p.Groups)),
+		winData:  make([]*levelWindow, p.K),
+		onMatch:  onMatch,
+		tracer:   e.tracer,
+		em:       e.em,
+		adaptive: !e.opts.LinearOnlyIntersect,
 	}
+	r.arenaPool.New = func() any { return graph.NewArena() }
 	for g := range r.cand {
 		r.cand[g] = make([]candSeq, p.K)
 		f := p.Groups[g].Forest
@@ -446,6 +465,14 @@ type run struct {
 	workers *workerPool
 	tracer  obs.Tracer     // nil when tracing is disabled
 	em      *engineMetrics // never nil
+
+	// adaptive selects the arena-backed intersection kernels; false
+	// reproduces the seed engine's probe-per-candidate matching
+	// (Options.LinearOnlyIntersect).
+	adaptive bool
+	// arenaPool recycles intersection arenas across enumeration tasks, so
+	// steady state performs no per-task scratch allocation.
+	arenaPool sync.Pool
 
 	internalCount atomic.Uint64
 	externalCount atomic.Uint64

@@ -4,12 +4,14 @@ import (
 	"sort"
 
 	"dualsim/internal/graph"
+	"dualsim/internal/rbi"
 	"dualsim/internal/storage"
 )
 
 // matcher carries the per-task state of vertex-level mapping: the data
 // vertex assigned to each position, the query-vertex mapping being expanded,
-// and local counters flushed when the task ends.
+// the task's intersection arena, and local counters flushed when the task
+// ends.
 type matcher struct {
 	r  *run
 	lw *levelWindow // level-0 window (internal) or last-level window (external)
@@ -25,22 +27,33 @@ type matcher struct {
 	mapping []graph.VertexID // query vertex -> data vertex
 	qMask   uint32           // mapped query vertices
 
+	// arena is the task's adaptive-intersection scratch (depth-indexed, no
+	// per-candidate allocation). Nil on the seed path
+	// (Options.LinearOnlyIntersect), which probes candidates one binary
+	// search at a time instead of materializing intersections.
+	arena *graph.Arena
+
 	localInternal uint64
 	localExternal uint64
 }
 
 func (r *run) newMatcher(lw *levelWindow, internal bool) *matcher {
-	return &matcher{
+	m := &matcher{
 		r:        r,
 		lw:       lw,
 		internal: internal,
 		pos2v:    make([]graph.VertexID, r.k),
 		mapping:  make([]graph.VertexID, r.p.Query.NumVertices()),
 	}
+	if r.adaptive {
+		m.arena = r.arenaPool.Get().(*graph.Arena)
+	}
+	return m
 }
 
 // flush publishes the task's local counters: once into the run totals,
-// once into the engine's cumulative metrics. Batching per task keeps the
+// once into the engine's cumulative metrics, and the arena's
+// kernel-selection counts into the registry. Batching per task keeps the
 // per-embedding hot path free of shared-cacheline traffic.
 func (m *matcher) flush() {
 	if m.localInternal > 0 {
@@ -50,6 +63,20 @@ func (m *matcher) flush() {
 	if m.localExternal > 0 {
 		m.r.externalCount.Add(m.localExternal)
 		m.r.em.embExternal.Add(m.localExternal)
+	}
+	if m.arena != nil {
+		st := m.arena.TakeStats()
+		if st.Linear > 0 {
+			m.r.em.intersectLinear.Add(st.Linear)
+		}
+		if st.Gallop > 0 {
+			m.r.em.intersectGallop.Add(st.Gallop)
+		}
+		if st.KWay > 0 {
+			m.r.em.intersectKWay.Add(st.KWay)
+		}
+		m.r.arenaPool.Put(m.arena)
+		m.arena = nil
 	}
 }
 
@@ -161,7 +188,11 @@ func (r *run) extMapRecord(m *matcher, v graph.VertexID, adj []graph.VertexID) {
 }
 
 // extDescend assigns the node at the given level (descending to 0) and
-// recurses; at level < 0 the red match is complete.
+// recurses; at level < 0 the red match is complete (Algorithm 2's
+// EXTVERTEXMAPPING). On the adaptive path the candidates for pos are
+// materialized once per parent assignment as the k-way intersection of the
+// node's window with every connected position's adjacency list; the seed
+// path probes the shortest list candidate-by-candidate.
 func (r *run) extDescend(m *matcher, level int) {
 	if level < 0 {
 		if m.allInternal() {
@@ -174,7 +205,43 @@ func (r *run) extDescend(m *matcher, level int) {
 	window := r.winData[level].verts[m.g]
 	vg := r.p.Groups[m.g]
 
-	// U_CON: assigned positions the topology requires pos to be adjacent to.
+	if m.arena != nil {
+		// U_CON lists plus the window itself form one k-way intersection.
+		lists := m.arena.Lists(level, r.k+1)
+		lists = append(lists, window)
+		for p := 0; p < r.k; p++ {
+			if m.posMask&(1<<uint(p)) == 0 {
+				continue
+			}
+			if !vg.HasTopologyEdge(r.k, p, pos) {
+				continue
+			}
+			lists = append(lists, m.adjOfPos(p))
+		}
+		if len(lists) == 1 {
+			// No assigned neighbor: scan the node's whole current window.
+			for _, v := range window {
+				if !m.orderOK(pos, v) {
+					continue
+				}
+				m.assign(pos, v)
+				r.extDescend(m, level-1)
+				m.unassign(pos)
+			}
+			return
+		}
+		for _, v := range m.arena.IntersectK(level, lists) {
+			if !m.orderOK(pos, v) {
+				continue
+			}
+			m.assign(pos, v)
+			r.extDescend(m, level-1)
+			m.unassign(pos)
+		}
+		return
+	}
+
+	// Seed path: iterate the shortest connected list, probing the rest.
 	base, others := m.connectedLists(vg, pos)
 	if base == nil {
 		// No assigned neighbor: scan the node's whole current window.
@@ -207,7 +274,8 @@ func (r *run) extDescend(m *matcher, level int) {
 // connectedLists gathers the adjacency lists of assigned positions adjacent
 // to pos in the group topology, returning the shortest as the iteration
 // base and the rest for membership checks. base == nil means U_CON is
-// empty.
+// empty. Seed-path only: it allocates the others header per call (the
+// adaptive path gathers into the arena instead).
 func (m *matcher) connectedLists(vg interface {
 	HasTopologyEdge(k, p, pp int) bool
 }, pos int) (base []graph.VertexID, others [][]graph.VertexID) {
@@ -252,8 +320,18 @@ func (m *matcher) unassign(pos int) {
 
 // --- internal enumeration ---------------------------------------------------
 
+// minStealSpan is the smallest remaining vertex range a task will split:
+// below two vertices there is nothing to hand off. Splitting is further
+// gated on workerPool.hungry, so a busy pool never splits at all.
+const minStealSpan = 2
+
 // internalEnumerate finds internal subgraphs: red matches entirely inside
-// the level-0 window. verts is this task's chunk of first-level candidates.
+// the level-0 window (Algorithm 1's INTSUBGRAPHMAPPING). verts is this
+// task's chunk of first-level candidates. While iterating, the task
+// participates in bounded work-stealing: whenever the pool's queue drains
+// and a worker sits idle, the task splits off the second half of its
+// remaining range as a new task, so one skewed high-degree candidate region
+// cannot stall the window on a single worker.
 func (r *run) internalEnumerate(g int, verts []graph.VertexID, lw *levelWindow) {
 	if r.firstErr() != nil {
 		return
@@ -261,11 +339,22 @@ func (r *run) internalEnumerate(g int, verts []graph.VertexID, lw *levelWindow) 
 	m := r.newMatcher(lw, true)
 	m.g = g
 	pos0 := r.p.MatchingOrder[0]
-	for _, v := range verts {
+	steal := !r.e.opts.StaticPartition
+	for i := 0; i < len(verts); i++ {
 		if r.ctx.Err() != nil {
 			break // cancellation: abandon the rest of the chunk
 		}
-		m.pos2v[pos0] = v
+		if steal && len(verts)-i >= minStealSpan && r.workers.hungry() {
+			mid := i + (len(verts)-i)/2
+			if mid > i {
+				rest := verts[mid:]
+				if r.workers.trySubmit(func() { r.internalEnumerate(g, rest, lw) }) {
+					r.em.stealSplits.Inc()
+					verts = verts[:mid]
+				}
+			}
+		}
+		m.pos2v[pos0] = verts[i]
 		m.posMask = 1 << uint(pos0)
 		r.intDescend(m, 1)
 	}
@@ -273,7 +362,10 @@ func (r *run) internalEnumerate(g int, verts []graph.VertexID, lw *levelWindow) 
 }
 
 // intDescend assigns levels 1..k-1 in ascending order, restricted to the
-// internal window.
+// internal window. The adaptive path materializes the candidates for pos as
+// the intersection of the connected positions' adjacency lists, each first
+// clipped to the window's [lo, hi] ID range; the seed path probes the
+// shortest list candidate-by-candidate.
 func (r *run) intDescend(m *matcher, level int) {
 	if level == r.k {
 		r.expandSequences(m, true)
@@ -281,6 +373,43 @@ func (r *run) intDescend(m *matcher, level int) {
 	}
 	pos := r.p.MatchingOrder[level]
 	vg := r.p.Groups[m.g]
+	lo, hi := m.lw.lo, m.lw.hi
+
+	if m.arena != nil {
+		lists := m.arena.Lists(level, r.k)
+		for p := 0; p < r.k; p++ {
+			if m.posMask&(1<<uint(p)) == 0 {
+				continue
+			}
+			if !vg.HasTopologyEdge(r.k, p, pos) {
+				continue
+			}
+			// Clip to the internal window: the intersection is a subset of
+			// every input, so clipping each list clips the result.
+			lists = append(lists, sliceRange(m.adjOfPos(p), lo, hi))
+		}
+		if len(lists) == 0 {
+			for _, v := range m.lw.verts[m.g] {
+				if !m.orderOK(pos, v) {
+					continue
+				}
+				m.assign(pos, v)
+				r.intDescend(m, level+1)
+				m.unassign(pos)
+			}
+			return
+		}
+		for _, v := range m.arena.IntersectK(level, lists) {
+			if !m.orderOK(pos, v) {
+				continue
+			}
+			m.assign(pos, v)
+			r.intDescend(m, level+1)
+			m.unassign(pos)
+		}
+		return
+	}
+
 	base, others := m.connectedLists(vg, pos)
 	if base == nil {
 		for _, v := range m.lw.verts[m.g] {
@@ -293,7 +422,6 @@ func (r *run) intDescend(m *matcher, level int) {
 		}
 		return
 	}
-	lo, hi := m.lw.lo, m.lw.hi
 	start := sort.Search(len(base), func(i int) bool { return base[i] >= lo })
 	for _, v := range base[start:] {
 		if v > hi {
@@ -329,8 +457,11 @@ func (r *run) expandSequences(m *matcher, internal bool) {
 
 // matchNonRed extends the current red mapping over plan.RBI.NonRed[idx:]:
 // black vertices scan their red neighbor's adjacency list, ivory vertices
-// intersect the lists of their red neighbors. No I/O is performed — every
-// needed adjacency list is already in the buffer.
+// intersect the lists of their red neighbors (§5.2). No I/O is performed —
+// every needed adjacency list is already in the buffer. The kernel shape is
+// fixed at plan time (rbi.KernelHint); on the adaptive path ivory
+// candidates are materialized by the smallest-first adaptive intersection,
+// while the seed path probes with per-candidate binary searches.
 func (r *run) matchNonRed(m *matcher, idx int, internal bool) {
 	if idx == len(r.p.RBI.NonRed) {
 		if internal {
@@ -345,6 +476,33 @@ func (r *run) matchNonRed(m *matcher, idx int, internal bool) {
 	}
 	u := r.p.RBI.NonRed[idx]
 	reds := r.p.RBI.RedNeighbors[u]
+
+	if m.arena != nil {
+		var cands []graph.VertexID
+		if r.p.RBI.Hints[u] == rbi.HintScan {
+			// Black vertex: candidates are the one red neighbor's list.
+			cands = m.adjOfData(m.mapping[reds[0]])
+		} else {
+			// Ivory vertex: pairwise or k-way adaptive intersection.
+			depth := r.k + idx
+			lists := m.arena.Lists(depth, len(reds))
+			for _, rq := range reds {
+				lists = append(lists, m.adjOfData(m.mapping[rq]))
+			}
+			cands = m.arena.IntersectK(depth, lists)
+		}
+		for _, v := range cands {
+			if !m.nonRedOK(u, v) {
+				continue
+			}
+			m.mapping[u] = v
+			m.qMask |= 1 << uint(u)
+			r.matchNonRed(m, idx+1, internal)
+			m.qMask &^= 1 << uint(u)
+		}
+		return
+	}
+
 	var base []graph.VertexID
 	var others [][]graph.VertexID
 	for _, rq := range reds {

@@ -25,6 +25,16 @@ type engineMetrics struct {
 
 	workerSubmitted *obs.Counter
 	workerCompleted *obs.Counter
+
+	// Kernel-selection counters: which intersection kernel the adaptive
+	// dispatch picked (flushed per enumeration task from the arena).
+	intersectLinear *obs.Counter
+	intersectGallop *obs.Counter
+	intersectKWay   *obs.Counter
+	// stealSplits counts bounded work-stealing range splits: a running
+	// enumeration task saw the queue drained and handed off half of its
+	// remaining candidate range (each split spawns exactly one stolen task).
+	stealSplits *obs.Counter
 }
 
 // registerEngineMetrics wires the engine's components into reg. The buffer
@@ -45,6 +55,11 @@ func registerEngineMetrics(reg *obs.Registry, pool *buffer.Pool, retry *storage.
 
 		workerSubmitted: reg.Counter("dualsim_worker_tasks_submitted_total", "enumeration tasks submitted to the worker pool"),
 		workerCompleted: reg.Counter("dualsim_worker_tasks_completed_total", "enumeration tasks completed by the worker pool"),
+
+		intersectLinear: reg.Counter("dualsim_intersect_linear_total", "pairwise intersections run on the linear-merge kernel"),
+		intersectGallop: reg.Counter("dualsim_intersect_gallop_total", "pairwise intersections run on the galloping kernel (skewed list lengths)"),
+		intersectKWay:   reg.Counter("dualsim_intersect_kway_total", "smallest-first k-way (>=3 list) intersections"),
+		stealSplits:     reg.Counter("dualsim_steal_splits_total", "work-stealing range splits (each spawns one stolen enumeration task)"),
 	}
 	reg.CounterFunc("dualsim_embeddings_total", "embeddings found (internal + external)", func() uint64 {
 		return em.embInternal.Value() + em.embExternal.Value()

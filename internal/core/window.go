@@ -413,7 +413,11 @@ func (r *run) clearChildCandidates(l int) {
 }
 
 // dispatchInternal schedules internal subgraph enumeration over the level-0
-// window, chunked so workers share it.
+// window, chunked so workers share it. With work-stealing enabled (the
+// default) chunks are coarse — one per thread per group — because running
+// tasks re-split whenever the queue drains; the static ablation reproduces
+// the seed's fixed 4x-oversubscribed partitioning, which is the whole
+// balancing story in that mode.
 func (r *run) dispatchInternal(lw *levelWindow) {
 	if r.tracer != nil {
 		verts := 0
@@ -422,12 +426,16 @@ func (r *run) dispatchInternal(lw *levelWindow) {
 		}
 		r.tracer.Emit(obs.Event{Event: "internal_enum", Level: 1, Window: r.windowsPer[0], Verts: verts})
 	}
+	chunksPer := r.e.opts.Threads * 4
+	if !r.e.opts.StaticPartition {
+		chunksPer = r.e.opts.Threads
+	}
 	for g := range r.p.Groups {
 		verts := lw.verts[g]
 		if len(verts) == 0 {
 			continue
 		}
-		chunks := r.e.opts.Threads * 4
+		chunks := chunksPer
 		if chunks > len(verts) {
 			chunks = len(verts)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"dualsim/internal/obs"
 )
@@ -11,12 +12,19 @@ import (
 // work finishes first, idle workers immediately pick up the other kind.
 //
 // The pool counts submissions and completions so observers can see queue
-// depth and per-run task volume (Kimmig et al. identify work imbalance as
-// the dominant scaling limiter; these counters make it visible).
+// depth and per-run task volume, and tracks idle workers so running tasks
+// can detect a drained queue and split their remaining range (bounded
+// work-stealing — Kimmig et al. identify work imbalance as the dominant
+// scaling limiter; static per-window partitioning lets one high-degree
+// candidate region stall the whole window).
 type workerPool struct {
 	tasks   chan func()
 	pending sync.WaitGroup
 	done    sync.WaitGroup
+
+	// idle counts workers blocked waiting for a task. Together with an
+	// empty channel it is the "queue drained" signal that triggers splits.
+	idle atomic.Int32
 
 	// submitted/completed count tasks; their difference is the queue depth
 	// (queued + running). Engine-provided counters land directly in the
@@ -47,7 +55,13 @@ func newWorkerPool(threads int, submitted, completed *obs.Counter) *workerPool {
 	for i := 0; i < threads; i++ {
 		go func() {
 			defer p.done.Done()
-			for task := range p.tasks {
+			for {
+				p.idle.Add(1)
+				task, ok := <-p.tasks
+				p.idle.Add(-1)
+				if !ok {
+					return
+				}
 				task()
 				p.completed.Inc()
 				p.pending.Done()
@@ -57,12 +71,36 @@ func newWorkerPool(threads int, submitted, completed *obs.Counter) *workerPool {
 	return p
 }
 
-// submit schedules a task. Tasks must not submit further tasks (the pool
-// would deadlock while draining).
+// submit schedules a task. Tasks must not call submit (a full channel would
+// deadlock the pool while draining) — from inside a task use trySubmit,
+// which never blocks.
 func (p *workerPool) submit(task func()) {
 	p.submitted.Inc()
 	p.pending.Add(1)
 	p.tasks <- task
+}
+
+// trySubmit schedules a task without ever blocking: it reports false (and
+// schedules nothing) when the channel is full. Safe to call from inside a
+// running task — the caller's own pending count keeps the WaitGroup
+// non-zero, so the Add here cannot race a drain at zero.
+func (p *workerPool) trySubmit(task func()) bool {
+	p.pending.Add(1)
+	select {
+	case p.tasks <- task:
+		p.submitted.Inc()
+		return true
+	default:
+		p.pending.Done()
+		return false
+	}
+}
+
+// hungry reports that the queue is empty and at least one worker is idle —
+// the signal for a running task to split off half of its remaining range.
+// Racy by design: a false positive merely produces one extra small task.
+func (p *workerPool) hungry() bool {
+	return len(p.tasks) == 0 && p.idle.Load() > 0
 }
 
 // stats returns the cumulative submitted and completed task counts.

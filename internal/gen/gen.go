@@ -179,3 +179,33 @@ func SampleVertices(g *graph.Graph, frac float64, seed int64) *graph.Graph {
 	}
 	return graph.MustNewGraph(int(next), edges)
 }
+
+// PlantedHubs returns a skewed-degree fixture: a sparse ring-with-chords
+// background of n-hubs vertices plus hubs planted high-degree vertices,
+// each wired to about span random background vertices and to every other
+// hub. After degree reordering the hubs occupy the top of the vertex order,
+// concentrating enumeration work in a narrow candidate range — the
+// adversarial case for static work partitioning and for linear-merge
+// intersections (hub adjacency lists dwarf background ones). Used by
+// BenchmarkWindowEnum and the work-stealing tests.
+func PlantedHubs(n, hubs, span int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	base := n - hubs
+	edges := make([][2]graph.VertexID, 0, base+hubs*span)
+	for v := 0; v < base; v++ {
+		edges = append(edges, [2]graph.VertexID{graph.VertexID(v), graph.VertexID((v + 1) % base)})
+		if v%5 == 0 {
+			edges = append(edges, [2]graph.VertexID{graph.VertexID(v), graph.VertexID(rng.Intn(base))})
+		}
+	}
+	for h := 0; h < hubs; h++ {
+		hv := graph.VertexID(base + h)
+		for i := 0; i < span; i++ {
+			edges = append(edges, [2]graph.VertexID{hv, graph.VertexID(rng.Intn(base))})
+		}
+		for h2 := h + 1; h2 < hubs; h2++ {
+			edges = append(edges, [2]graph.VertexID{hv, graph.VertexID(base + h2)})
+		}
+	}
+	return graph.MustNewGraph(n, edges)
+}

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"sort"
 	"testing"
 
 	"dualsim/internal/graph"
@@ -120,5 +121,28 @@ func TestSampleTinyFraction(t *testing.T) {
 	s := SampleVertices(g, 0.001, 16)
 	if s.NumVertices() < 1 {
 		t.Error("empty sample should degrade to a single vertex")
+	}
+}
+
+func TestPlantedHubsSkew(t *testing.T) {
+	g := PlantedHubs(2000, 8, 300, 42)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// The 8 hubs must dominate the degree distribution.
+	max, med := g.MaxDegree(), 0
+	degs := make([]int, g.NumVertices())
+	for v := range degs {
+		degs[v] = g.Degree(graph.VertexID(v))
+	}
+	sort.Ints(degs)
+	med = degs[len(degs)/2]
+	if max < 20*med {
+		t.Fatalf("max degree %d not >> median %d; fixture not skewed", max, med)
+	}
+	// Determinism.
+	h := PlantedHubs(2000, 8, 300, 42)
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatalf("not deterministic: %d vs %d edges", h.NumEdges(), g.NumEdges())
 	}
 }

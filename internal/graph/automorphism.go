@@ -49,6 +49,8 @@ func Automorphisms(q *Query) [][]int {
 // embedding m, the data vertex m(Lo) must precede m(Hi) in the total order
 // (i.e. have a smaller ID after degree reordering).
 type PartialOrder struct {
+	// Lo and Hi are query-vertex indices; embeddings with m(Lo) >= m(Hi)
+	// are pruned during enumeration.
 	Lo, Hi int
 }
 

@@ -50,11 +50,25 @@ func CanonicalCode(q *Query) (string, []int) {
 	haveBest := false
 
 	// tight: the prefix rows equal best's prefix; only then can a deeper
-	// row still exceed best and force a prune.
+	// row still exceed best and force a prune. tight is only ever an
+	// under-approximation (a best update deeper in the tree re-establishes
+	// prefix equality without resetting the flag), so it is used solely to
+	// *enable* pruning; replacement at a leaf is guarded by a full
+	// comparison. (An earlier version replaced best unconditionally when
+	// !tight, which let the *last* leaf of a diverged subtree win instead of
+	// the smallest — isomorphic relabelings of P8 produced distinct codes.)
+	lessRows := func(a, b [][]byte) bool {
+		for p := 0; p < n; p++ {
+			if c := compareRow(a[p], b[p]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	}
 	var rec func(pos int, tight bool)
 	rec = func(pos int, tight bool) {
 		if pos == n {
-			if !haveBest || !tight {
+			if !haveBest || lessRows(cur, best) {
 				haveBest = true
 				for p := 0; p < n; p++ {
 					copy(best[p], cur[p])

@@ -200,27 +200,9 @@ func (g *Graph) IsDegreeOrdered() bool {
 	return true
 }
 
-// IntersectSorted writes the intersection of two sorted vertex slices into
-// dst (which may be nil) and returns it. Used for ivory-vertex matching.
-func IntersectSorted(a, b []VertexID, dst []VertexID) []VertexID {
-	dst = dst[:0]
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			dst = append(dst, a[i])
-			i++
-			j++
-		}
-	}
-	return dst
-}
-
-// ContainsSorted reports whether sorted slice a contains v.
+// ContainsSorted reports whether sorted slice a contains v. It is the
+// membership probe behind U_CON filtering during red-vertex traversal
+// (paper Algorithms 2 and 4).
 func ContainsSorted(a []VertexID, v VertexID) bool {
 	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
 	return i < len(a) && a[i] == v
