@@ -21,7 +21,7 @@ fmt:
 # revive's `exported` rule), gated to the packages whose exported surface
 # doubles as the paper-concept glossary.
 lint: vet
-	$(GO) run ./cmd/lintdoc ./internal/graph ./internal/core
+	$(GO) run ./cmd/lintdoc ./internal/graph ./internal/core ./internal/buffer
 
 # check is the full pre-commit gate: static analysis plus the race-enabled
 # test suite (the robustness tests exercise concurrent cancellation paths

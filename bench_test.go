@@ -311,6 +311,42 @@ func BenchmarkWindowEnum(b *testing.B) {
 	b.Run("stealing-only", func(b *testing.B) {
 		run(b, core.Options{LinearOnlyIntersect: true})
 	})
+
+	// I/O-bound variants: HDD-like simulated latency and a buffer far
+	// smaller than the database, so every run churns windows and the
+	// cross-window prefetch pipeline has device time to hide. The reported
+	// io_wait_ms/op metric is the orchestrator time blocked in loadWindow —
+	// the before/after number for the prefetch story in docs/EXPERIMENTS.md.
+	runIO := func(b *testing.B, prefetch int) {
+		b.Helper()
+		eng, err := core.NewEngine(db, core.Options{
+			Threads:        4,
+			BufferFrames:   176,
+			PrefetchFrames: prefetch,
+			PerPageLatency: 200 * time.Microsecond,
+			SeekLatency:    2 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		var ioWait time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Run(graph.Clique4())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Count == 0 {
+				b.Fatal("suspicious zero count")
+			}
+			ioWait += res.IOWait
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(ioWait.Milliseconds())/float64(b.N), "io_wait_ms/op")
+	}
+	b.Run("io-nopfetch", func(b *testing.B) { runIO(b, 0) })
+	b.Run("io-prefetch", func(b *testing.B) { runIO(b, 16) })
 }
 
 // --- ablation benches (design choices from DESIGN.md §5) ----------------------

@@ -263,6 +263,15 @@ type Options struct {
 	// BufferFraction sizes the buffer as a fraction of the database's
 	// pages (default 0.15, the paper's default).
 	BufferFraction float64
+	// PrefetchFrames, when positive, carves up to that many frames out of
+	// each level's buffer allocation for cross-window prefetch: while a
+	// window is enumerated, the next window's leading pages are read
+	// speculatively into the carved frames. The carve shrinks the window
+	// budget, never the foreground's frame guarantee, so prefetch cannot
+	// starve enumeration; levels too small for a carve worth a device
+	// request skip prefetch instead of shrinking their windows. Zero
+	// disables prefetching.
+	PrefetchFrames int
 	// UseMVC selects minimum vertex covers instead of minimum connected
 	// vertex covers for the red query graph.
 	UseMVC bool
@@ -320,6 +329,7 @@ func (o Options) coreOptions() core.Options {
 		Threads:          o.Threads,
 		BufferFrames:     o.BufferFrames,
 		BufferFraction:   o.BufferFraction,
+		PrefetchFrames:   o.PrefetchFrames,
 		CoverMode:        mode,
 		EqualAllocation:  o.EqualAllocation,
 		WorstOrder:       o.WorstOrder,

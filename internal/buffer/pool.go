@@ -23,10 +23,26 @@ type PageReader interface {
 	NumPages() int
 }
 
+// RunReader is optionally implemented by PageReaders that can fetch a run
+// of consecutive pages in one request; *storage.DB (single positional read)
+// and *storage.RetryReader (per-page retries, still one simulated seek)
+// both do. When the pool's reader implements it, the I/O scheduler issues
+// one device request per contiguous non-resident stretch of a coalesced
+// run instead of one per page.
+type RunReader interface {
+	ReadPagesInto(first storage.PageID, buf []byte) error
+}
+
 // ErrNoFreeFrame is returned when every frame is pinned and a new page is
 // requested. The engine sizes its windows to the pool, so seeing this error
 // indicates a planning bug or a too-small buffer.
 var ErrNoFreeFrame = errors.New("buffer: all frames pinned")
+
+// DefaultMaxRun is the run-coalescing cap applied when Options.MaxRun is
+// zero: the page count one I/O request serves with a single simulated
+// seek. Exported so budget policies elsewhere (the engine's prefetch
+// carve) can refuse configurations too small to coalesce.
+const DefaultMaxRun = 8
 
 // Options configures a Pool.
 type Options struct {
@@ -39,6 +55,10 @@ type Options struct {
 	// SeekLatency is added when a physical read is not sequential with the
 	// pool's previous physical read (an HDD-style seek penalty).
 	SeekLatency time.Duration
+	// MaxRun caps the pages served by one coalesced run request (default 8).
+	// Longer AsyncReadRunContext runs are split so a single run cannot
+	// monopolize an I/O worker while the others sit idle.
+	MaxRun int
 }
 
 // Stats counts buffer activity. Retrieved with Pool.Stats.
@@ -51,6 +71,12 @@ type Stats struct {
 	// goroutine was already loading — contention the async scheduler
 	// failed to hide.
 	PinWaitNanos uint64
+	// CoalescedRuns counts multi-page stretches served by the run
+	// scheduler with a single simulated seek (one device request when the
+	// reader implements RunReader).
+	CoalescedRuns uint64
+	// CoalescedPages counts the pages those stretches covered.
+	CoalescedPages uint64
 }
 
 type frame struct {
@@ -62,18 +88,23 @@ type frame struct {
 	buf   []byte
 }
 
+// ioRequest is one unit of scheduled asynchronous I/O: n consecutive pages
+// starting at pid (n == 1 for the classic AsyncRead). cb runs once per
+// page, in ascending page order.
 type ioRequest struct {
 	ctx context.Context
 	pid storage.PageID
-	cb  func(*storage.Page, error)
+	n   int
+	cb  func(storage.PageID, *storage.Page, error)
 	wg  *sync.WaitGroup
 }
 
 // Pool is a fixed-capacity page buffer. All methods are safe for concurrent
 // use.
 type Pool struct {
-	reader PageReader
-	opts   Options
+	reader    PageReader
+	runReader RunReader // reader's optional multi-page path; nil if unsupported
+	opts      Options
 
 	mu        sync.Mutex
 	frames    []frame
@@ -86,11 +117,24 @@ type Pool struct {
 	hits      atomic.Uint64
 	evictions atomic.Uint64
 	pinWait   atomic.Uint64
+	runs      atomic.Uint64
+	runPages  atomic.Uint64
 	lastRead  atomic.Int64 // previous physical pid, for seek simulation
 
 	ioq    chan ioRequest
 	ioWG   sync.WaitGroup
 	closed atomic.Bool
+	// shutMu serializes request enqueue against Close: senders hold the read
+	// half across the closed-check and the channel send, Close takes the
+	// write half around closing ioq, so a send can never hit a closed
+	// channel (the AsyncRead-vs-Close panic fixed in PR 5). Workers never
+	// take it, so a sender blocked on a full queue still drains.
+	shutMu sync.RWMutex
+
+	// runBufs recycles the scratch buffers multi-page device requests read
+	// into before per-frame parsing (record payloads are copied by
+	// storage.ParsePage, so the scratch never outlives the request).
+	runBufs sync.Pool
 }
 
 // NewPool creates a pool over reader with opts.Frames frames.
@@ -101,6 +145,9 @@ func NewPool(reader PageReader, opts Options) (*Pool, error) {
 	if opts.IOWorkers <= 0 {
 		opts.IOWorkers = 4
 	}
+	if opts.MaxRun <= 0 {
+		opts.MaxRun = DefaultMaxRun
+	}
 	p := &Pool{
 		reader: reader,
 		opts:   opts,
@@ -109,6 +156,7 @@ func NewPool(reader PageReader, opts Options) (*Pool, error) {
 		free:   make([]int, 0, opts.Frames),
 		ioq:    make(chan ioRequest, 4*opts.IOWorkers),
 	}
+	p.runReader, _ = reader.(RunReader)
 	p.lastRead.Store(-2)
 	for i := opts.Frames - 1; i >= 0; i-- {
 		p.free = append(p.free, i)
@@ -120,12 +168,16 @@ func NewPool(reader PageReader, opts Options) (*Pool, error) {
 	return p, nil
 }
 
-// Close stops the I/O workers. Pending async requests complete first.
+// Close stops the I/O workers. Pending async requests complete first;
+// requests racing with Close are rejected with ErrPoolClosed instead of
+// panicking (see shutMu).
 func (p *Pool) Close() {
+	p.shutMu.Lock()
 	if p.closed.CompareAndSwap(false, true) {
 		close(p.ioq)
-		p.ioWG.Wait()
 	}
+	p.shutMu.Unlock()
+	p.ioWG.Wait()
 }
 
 // Capacity returns the frame count.
@@ -138,11 +190,13 @@ func (p *Pool) Capacity() int { return p.opts.Frames }
 // single linearization point across counters.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		LogicalReads:  p.logical.Load(),
-		PhysicalReads: p.physical.Load(),
-		Hits:          p.hits.Load(),
-		Evictions:     p.evictions.Load(),
-		PinWaitNanos:  p.pinWait.Load(),
+		LogicalReads:   p.logical.Load(),
+		PhysicalReads:  p.physical.Load(),
+		Hits:           p.hits.Load(),
+		Evictions:      p.evictions.Load(),
+		PinWaitNanos:   p.pinWait.Load(),
+		CoalescedRuns:  p.runs.Load(),
+		CoalescedPages: p.runPages.Load(),
 	}
 }
 
@@ -153,6 +207,8 @@ func (p *Pool) ResetStats() {
 	p.hits.Store(0)
 	p.evictions.Store(0)
 	p.pinWait.Store(0)
+	p.runs.Store(0)
+	p.runPages.Store(0)
 }
 
 // Resident reports whether pid is currently buffered (loaded or loading).
@@ -310,15 +366,23 @@ func (p *Pool) acquireFrameLocked() (int, error) {
 	return 0, ErrNoFreeFrame
 }
 
-// simulateLatency sleeps the configured device delay, waking early (and
-// returning ctx.Err) if the context is canceled mid-sleep.
+// simulateLatency sleeps the configured device delay for a single-page
+// read, waking early (and returning ctx.Err) if the context is canceled
+// mid-sleep.
 func (p *Pool) simulateLatency(ctx context.Context, pid storage.PageID) error {
+	return p.simulateRunLatency(ctx, pid, 1)
+}
+
+// simulateRunLatency charges a run of n consecutive physical page reads
+// starting at first: n per-page transfer delays but at most one seek —
+// the amortization sequential run coalescing exists to buy.
+func (p *Pool) simulateRunLatency(ctx context.Context, first storage.PageID, n int) error {
 	if p.opts.PerPageLatency == 0 && p.opts.SeekLatency == 0 {
 		return ctx.Err()
 	}
-	last := p.lastRead.Swap(int64(pid))
-	d := p.opts.PerPageLatency
-	if int64(pid) != last+1 {
+	last := p.lastRead.Swap(int64(first) + int64(n) - 1)
+	d := time.Duration(n) * p.opts.PerPageLatency
+	if int64(first) != last+1 {
 		d += p.opts.SeekLatency
 	}
 	if d <= 0 {
@@ -341,6 +405,19 @@ func (p *Pool) simulateLatency(ctx context.Context, pid storage.PageID) error {
 // ErrPoolClosed is delivered to AsyncRead callbacks issued after Close.
 var ErrPoolClosed = errors.New("buffer: pool closed")
 
+// enqueue submits req to the I/O workers, returning false when the pool is
+// (or is concurrently being) closed. The shutMu read lock spans the
+// closed-check and the send, so Close cannot close ioq in between.
+func (p *Pool) enqueue(req ioRequest) bool {
+	p.shutMu.RLock()
+	defer p.shutMu.RUnlock()
+	if p.closed.Load() {
+		return false
+	}
+	p.ioq <- req
+	return true
+}
+
 // AsyncRead schedules a read of pid; cb runs in an I/O worker goroutine once
 // the page is pinned (or failed). The page stays pinned across the callback
 // and until the caller Unpins it — mirroring the paper's AsyncRead whose
@@ -356,31 +433,231 @@ func (p *Pool) AsyncRead(pid storage.PageID, wg *sync.WaitGroup, cb func(*storag
 // fires with ctx.Err() and no page. This drains queued I/O promptly on
 // cancellation instead of finishing a window's worth of stale reads.
 func (p *Pool) AsyncReadContext(ctx context.Context, pid storage.PageID, wg *sync.WaitGroup, cb func(*storage.Page, error)) {
-	if p.closed.Load() {
+	var pcb func(storage.PageID, *storage.Page, error)
+	if cb != nil {
+		pcb = func(_ storage.PageID, page *storage.Page, err error) { cb(page, err) }
+	}
+	if !p.enqueue(ioRequest{ctx: ctx, pid: pid, n: 1, cb: pcb, wg: wg}) {
 		if cb != nil {
 			cb(nil, ErrPoolClosed)
 		}
 		if wg != nil {
 			wg.Done()
 		}
-		return
 	}
-	p.ioq <- ioRequest{ctx: ctx, pid: pid, cb: cb, wg: wg}
+}
+
+// AsyncReadRunContext schedules the n consecutive pages [first, first+n) as
+// coalesced run requests: cb runs once per page, in ascending page order
+// within each request, with each page pinned exactly as by AsyncReadContext
+// (the caller Unpins pages delivered without error). Contiguous
+// non-resident stretches are read with a single simulated seek — and a
+// single device request when the reader implements RunReader — so a
+// sequential window load pays one positioning delay instead of n. Runs
+// longer than Options.MaxRun are split across several requests (possibly
+// served by different workers). wg, if non-nil, must have been Add(n)'d; it
+// is Done once per page. After Close every callback fires immediately with
+// ErrPoolClosed.
+func (p *Pool) AsyncReadRunContext(ctx context.Context, first storage.PageID, n int, wg *sync.WaitGroup, cb func(storage.PageID, *storage.Page, error)) {
+	for n > 0 {
+		chunk := n
+		if chunk > p.opts.MaxRun {
+			chunk = p.opts.MaxRun
+		}
+		if !p.enqueue(ioRequest{ctx: ctx, pid: first, n: chunk, cb: cb, wg: wg}) {
+			for i := 0; i < n; i++ {
+				if cb != nil {
+					cb(first+storage.PageID(i), nil, ErrPoolClosed)
+				}
+				if wg != nil {
+					wg.Done()
+				}
+			}
+			return
+		}
+		first += storage.PageID(chunk)
+		n -= chunk
+	}
 }
 
 func (p *Pool) ioWorker() {
 	defer p.ioWG.Done()
 	for req := range p.ioq {
+		if req.n <= 1 {
+			p.servePage(req)
+		} else {
+			p.serveRun(req)
+		}
+	}
+}
+
+// servePage serves a single-page request: pin (loading if absent), deliver.
+func (p *Pool) servePage(req ioRequest) {
+	var page *storage.Page
+	err := req.ctx.Err()
+	if err == nil {
+		page, err = p.PinContext(req.ctx, req.pid)
+	}
+	if req.cb != nil {
+		req.cb(req.pid, page, err)
+	}
+	if req.wg != nil {
+		req.wg.Done()
+	}
+}
+
+// runSlot is the per-page state of one coalesced run request.
+type runSlot struct {
+	idx  int  // frame index (valid when hit or load)
+	hit  bool // resident: wait on the frame's ready channel
+	load bool // this request owns the frame's physical load
+	err  error
+}
+
+// serveRun serves a coalesced run request in three phases: classify every
+// page under the pool lock (hit, frame acquired for load, or error), read
+// each maximal contiguous stretch of loads with one seek, then deliver the
+// callbacks in page order. Failure handling per page matches PinContext:
+// a page that cannot be loaded is delivered with its error and no pin.
+func (p *Pool) serveRun(req ioRequest) {
+	slots := make([]runSlot, req.n)
+	ctxErr := req.ctx.Err()
+	p.mu.Lock()
+	for i := range slots {
+		pid := req.pid + storage.PageID(i)
+		if ctxErr != nil {
+			slots[i].err = ctxErr
+			continue
+		}
+		p.logical.Add(1)
+		if idx, ok := p.table[pid]; ok {
+			p.frames[idx].pins++
+			slots[i] = runSlot{idx: idx, hit: true}
+			continue
+		}
+		idx, err := p.acquireFrameLocked()
+		if err != nil {
+			slots[i].err = err
+			continue
+		}
+		f := &p.frames[idx]
+		f.pid = pid
+		f.pins = 1
+		f.err = nil
+		f.page = nil
+		f.ready = make(chan struct{})
+		if f.buf == nil {
+			f.buf = make([]byte, p.reader.PageSize())
+		}
+		p.table[pid] = idx
+		slots[i] = runSlot{idx: idx, load: true}
+	}
+	p.mu.Unlock()
+
+	for i := 0; i < req.n; {
+		if !slots[i].load {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < req.n && slots[j].load {
+			j++
+		}
+		p.readStretch(req.ctx, req.pid+storage.PageID(i), slots[i:j])
+		i = j
+	}
+
+	for i := range slots {
+		pid := req.pid + storage.PageID(i)
+		s := slots[i]
 		var page *storage.Page
-		err := req.ctx.Err()
+		err := s.err
 		if err == nil {
-			page, err = p.PinContext(req.ctx, req.pid)
+			f := &p.frames[s.idx]
+			if s.hit {
+				select {
+				case <-f.ready:
+				default:
+					waitStart := time.Now()
+					<-f.ready
+					p.pinWait.Add(uint64(time.Since(waitStart)))
+				}
+				if f.err == nil {
+					p.hits.Add(1)
+				}
+			}
+			page, err = f.page, f.err
+			if err != nil {
+				p.Unpin(pid)
+				page = nil
+			}
 		}
 		if req.cb != nil {
-			req.cb(page, err)
+			req.cb(pid, page, err)
 		}
 		if req.wg != nil {
 			req.wg.Done()
 		}
 	}
 }
+
+// readStretch physically loads the consecutive pages claimed by slots (all
+// marked load), charging one seek for the whole stretch. With a RunReader
+// the stretch is one device request into pooled scratch; otherwise pages
+// are read back to back into their frames. Each frame's err/page is set
+// and its ready channel closed.
+func (p *Pool) readStretch(ctx context.Context, first storage.PageID, slots []runSlot) {
+	n := len(slots)
+	if n > 1 {
+		p.runs.Add(1)
+		p.runPages.Add(uint64(n))
+	}
+	err := p.simulateRunLatency(ctx, first, n)
+	if err == nil && n > 1 && p.runReader != nil {
+		ps := p.reader.PageSize()
+		buf := p.takeRunBuf(n * ps)
+		if rerr := p.runReader.ReadPagesInto(first, buf); rerr != nil {
+			err = rerr
+		} else {
+			for i := range slots {
+				f := &p.frames[slots[i].idx]
+				f.page, f.err = storage.ParsePage(buf[i*ps : (i+1)*ps])
+				p.physical.Add(1)
+				close(f.ready)
+			}
+			p.putRunBuf(buf)
+			return
+		}
+		p.putRunBuf(buf)
+	}
+	if err != nil {
+		for i := range slots {
+			f := &p.frames[slots[i].idx]
+			f.err = err
+			close(f.ready)
+		}
+		return
+	}
+	for i := range slots {
+		f := &p.frames[slots[i].idx]
+		rerr := p.reader.ReadPageInto(first+storage.PageID(i), f.buf)
+		if rerr == nil {
+			f.page, rerr = storage.ParsePage(f.buf)
+		}
+		f.err = rerr
+		p.physical.Add(1)
+		close(f.ready)
+	}
+}
+
+// takeRunBuf returns a scratch buffer of exactly size bytes, recycled via
+// runBufs when a previous request's buffer is large enough.
+func (p *Pool) takeRunBuf(size int) []byte {
+	if b, ok := p.runBufs.Get().([]byte); ok && cap(b) >= size {
+		return b[:size]
+	}
+	return make([]byte, size)
+}
+
+// putRunBuf returns a scratch buffer to the recycle pool.
+func (p *Pool) putRunBuf(buf []byte) { p.runBufs.Put(buf[:cap(buf)]) }

@@ -1,0 +1,126 @@
+package buffer
+
+import (
+	"context"
+	"sync"
+
+	"dualsim/internal/storage"
+)
+
+// Prefetcher speculatively loads the page set of the *next* merged window
+// while the current one is being enumerated — the cross-window half of the
+// paper's CPU/I-O overlap story. The engine computes the upcoming window's
+// pages from its window iterator without loading anything, hands them to
+// Start, and keeps enumerating; by the time the next window's foreground
+// loads are issued the pages are already resident, turning the
+// orchestrator's wg.Wait in loadWindow from device time into a buffer hit.
+//
+// A round is clipped to the budget and every speculative pin is held until
+// Collect. Holding the pins is what makes the speculation worth its device
+// time: during enumeration nearly every other frame is pinned by the
+// foreground path, so an unpinned speculative page is first in line for
+// eviction by the last level's page churn and is usually gone again before
+// the window transition that wanted it (measured at ~70% loss on the
+// benchmark fixture). The cost of pinning is coverage — a round loads at
+// most budget pages of the next window — which is why the engine carves
+// the budget out of the level's frame allocation: the foreground window
+// shrinks by exactly the frames the speculation holds, and prefetching can
+// never push the foreground path into ErrNoFreeFrame.
+//
+// Rounds alternate strictly: Start issues one window's speculation in
+// coalesced runs, Collect settles it (the window-skip path passes a nil
+// classifier: the round is abandoned and counted wasted) and classifies
+// what was requested as useful or wasted. Reads carry the caller's
+// context, so cancelling the run fails the speculative loads along with
+// everything else; Collect itself never cancels reads already handed to
+// the pool, because the pool shares one in-flight load among every waiter
+// of a page — a foreground pin may have latched onto a speculative read,
+// and cancelling it would fail the foreground path, not just the
+// speculation.
+//
+// A Prefetcher is not safe for concurrent use; the engine drives each one
+// from its orchestrating goroutine only.
+type Prefetcher struct {
+	pool   *Pool
+	budget int
+
+	issued   int
+	inFlight bool
+
+	wg sync.WaitGroup
+
+	mu     sync.Mutex       // guards loaded (written from I/O worker callbacks)
+	loaded []storage.PageID // pages whose speculative load landed this round
+}
+
+// NewPrefetcher returns a prefetcher over pool issuing at most budget
+// speculative loads per round. A budget <= 0 disables it: Start becomes a
+// no-op and Collect always reports zero activity.
+func NewPrefetcher(pool *Pool, budget int) *Prefetcher {
+	return &Prefetcher{pool: pool, budget: budget}
+}
+
+// Budget returns the per-round speculative load cap.
+func (pf *Prefetcher) Budget() int { return pf.budget }
+
+// Start begins a speculation round over pids (ascending page IDs expected)
+// and returns the number of pages accepted without waiting for any I/O.
+// The list is clipped to the budget; accepted pages are issued in maximal
+// contiguous runs so the pool's scheduler serves each with one simulated
+// seek, and their pins are held until Collect. Each round must be settled
+// with Collect before the next Start and before the pool is closed.
+func (pf *Prefetcher) Start(ctx context.Context, pids []storage.PageID) int {
+	if pf.budget <= 0 || len(pids) == 0 {
+		return 0
+	}
+	if pf.inFlight {
+		panic("buffer: Prefetcher.Start without Collect of the previous round")
+	}
+	if len(pids) > pf.budget {
+		pids = pids[:pf.budget]
+	}
+	pf.inFlight = true
+	pf.issued = len(pids)
+	for i := 0; i < len(pids); {
+		j := i + 1
+		for j < len(pids) && pids[j] == pids[j-1]+1 {
+			j++
+		}
+		n := j - i
+		pf.wg.Add(n)
+		pf.pool.AsyncReadRunContext(ctx, pids[i], n, &pf.wg, func(pid storage.PageID, _ *storage.Page, err error) {
+			if err == nil {
+				pf.mu.Lock()
+				pf.loaded = append(pf.loaded, pid)
+				pf.mu.Unlock()
+			}
+		})
+		i = j
+	}
+	return pf.issued
+}
+
+// Collect settles the round started by Start: it waits for the in-flight
+// reads, classifies every successfully loaded page with useful (nil
+// classifies none as useful — the window-skip path), releases the round's
+// pins, and returns the page counts. wasted counts accepted pages that
+// were not useful, including pages whose read failed or was cancelled with
+// the caller's context. No pins remain after Collect. Collect on a
+// prefetcher with no round in flight returns (0, 0).
+func (pf *Prefetcher) Collect(useful func(storage.PageID) bool) (usefulPages, wastedPages int) {
+	if !pf.inFlight {
+		return 0, 0
+	}
+	pf.inFlight = false
+	pf.wg.Wait()
+	for _, pid := range pf.loaded {
+		if useful != nil && useful(pid) {
+			usefulPages++
+		}
+		pf.pool.Unpin(pid)
+	}
+	wastedPages = pf.issued - usefulPages
+	pf.loaded = pf.loaded[:0]
+	pf.issued = 0
+	return usefulPages, wastedPages
+}

@@ -1,0 +1,134 @@
+package buffer
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dualsim/internal/storage"
+)
+
+func TestPrefetcherBudgetClipsIssue(t *testing.T) {
+	db := testDB(t, 400, 2000, 128, 40)
+	needPages(t, db, 6)
+	p, err := NewPool(db, Options{Frames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	pf := NewPrefetcher(p, 2)
+	if pf.Budget() != 2 {
+		t.Fatalf("budget = %d", pf.Budget())
+	}
+	n := pf.Start(context.Background(), []storage.PageID{0, 1, 2, 3, 4, 5})
+	if n != 2 {
+		t.Fatalf("issued %d, want budget 2", n)
+	}
+	useful, wasted := pf.Collect(func(storage.PageID) bool { return true })
+	if useful != 2 || wasted != 0 {
+		t.Fatalf("useful/wasted = %d/%d, want 2/0", useful, wasted)
+	}
+	if p.PinnedCount() != 0 {
+		t.Fatalf("speculative pins leaked: %d", p.PinnedCount())
+	}
+}
+
+func TestPrefetcherDisabled(t *testing.T) {
+	db := testDB(t, 100, 400, 128, 41)
+	p, err := NewPool(db, Options{Frames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	pf := NewPrefetcher(p, 0)
+	if n := pf.Start(context.Background(), []storage.PageID{0, 1}); n != 0 {
+		t.Fatalf("disabled prefetcher issued %d", n)
+	}
+	if useful, wasted := pf.Collect(nil); useful != 0 || wasted != 0 {
+		t.Fatalf("disabled prefetcher reported %d/%d", useful, wasted)
+	}
+}
+
+func TestPrefetcherUsefulWastedSplit(t *testing.T) {
+	db := testDB(t, 400, 2000, 128, 42)
+	needPages(t, db, 4)
+	p, err := NewPool(db, Options{Frames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	pf := NewPrefetcher(p, 4)
+	if n := pf.Start(context.Background(), []storage.PageID{0, 1, 2, 3}); n != 4 {
+		t.Fatalf("issued %d", n)
+	}
+	useful, wasted := pf.Collect(func(pid storage.PageID) bool { return pid < 2 })
+	if useful != 2 || wasted != 2 {
+		t.Fatalf("useful/wasted = %d/%d, want 2/2", useful, wasted)
+	}
+	if p.PinnedCount() != 0 {
+		t.Fatalf("speculative pins leaked: %d", p.PinnedCount())
+	}
+	// Useful pages stay resident after the pin release — that is the whole
+	// point: the foreground re-pin is a buffer hit.
+	if !p.Resident(0) || !p.Resident(1) {
+		t.Fatal("prefetched pages not resident after Collect")
+	}
+}
+
+func TestPrefetcherCollectNilIsPureCancellation(t *testing.T) {
+	db := testDB(t, 400, 2000, 128, 43)
+	needPages(t, db, 4)
+	// Some latency so the round is still in flight when it is abandoned.
+	p, err := NewPool(db, Options{Frames: 8, IOWorkers: 1, PerPageLatency: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	pf := NewPrefetcher(p, 4)
+	if n := pf.Start(context.Background(), []storage.PageID{0, 1, 2, 3}); n != 4 {
+		t.Fatalf("issued %d", n)
+	}
+	useful, wasted := pf.Collect(nil)
+	if useful != 0 {
+		t.Fatalf("nil classifier counted %d useful", useful)
+	}
+	if wasted != 4 {
+		t.Fatalf("wasted = %d, want 4 (everything issued)", wasted)
+	}
+	if p.PinnedCount() != 0 {
+		t.Fatalf("speculative pins leaked: %d", p.PinnedCount())
+	}
+	// A settled prefetcher can start the next round.
+	if n := pf.Start(context.Background(), []storage.PageID{0}); n != 1 {
+		t.Fatalf("second round issued %d", n)
+	}
+	pf.Collect(nil)
+}
+
+func TestPrefetcherCollectWithoutRound(t *testing.T) {
+	pf := NewPrefetcher(nil, 3)
+	if useful, wasted := pf.Collect(nil); useful != 0 || wasted != 0 {
+		t.Fatalf("idle Collect reported %d/%d", useful, wasted)
+	}
+}
+
+func TestPrefetcherStartTwicePanics(t *testing.T) {
+	db := testDB(t, 200, 800, 128, 44)
+	needPages(t, db, 2)
+	p, err := NewPool(db, Options{Frames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	pf := NewPrefetcher(p, 2)
+	pf.Start(context.Background(), []storage.PageID{0})
+	assertPanics(t, "Start without Collect", func() {
+		pf.Start(context.Background(), []storage.PageID{1})
+	})
+	pf.Collect(nil)
+}

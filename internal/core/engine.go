@@ -53,6 +53,19 @@ type Options struct {
 	StaticPartition bool
 	// IOWorkers is the number of asynchronous I/O goroutines (default 4).
 	IOWorkers int
+	// PrefetchFrames enables the cross-window prefetch pipeline: while a
+	// window is enumerated, up to this many frames per level speculatively
+	// hold leading pages of the level's *next* window, issued from the
+	// window iterator's lookahead and kept pinned until the window
+	// transition claims them. The budget is carved out of each level's
+	// frame allocation so prefetch can never starve the foreground path
+	// into ErrNoFreeFrame. The carve is clamped to an eighth of the
+	// level's allocation (and the one-maximal-vertex floor), and a level
+	// only participates when the clamped carve still reaches the pool's
+	// coalescing run size — smaller speculative reads pay a full seek for
+	// a handful of pages, so starved levels skip prefetch rather than
+	// shrink their windows into seek storms. Zero disables prefetching.
+	PrefetchFrames int
 	// PerPageLatency simulates per-page device transfer latency.
 	PerPageLatency time.Duration
 	// SeekLatency simulates device positioning latency, charged once per
@@ -254,6 +267,35 @@ func (e *Engine) PinnedFrames() int { return e.pool.PinnedCount() }
 // endpoint.
 func (e *Engine) PoolStats() buffer.Stats { return e.pool.Stats() }
 
+// EnumStats is a point-in-time view of the engine's cumulative enumeration
+// counters that the serving layer surfaces in GET /stats. When several
+// engines share one obs.Registry (Options.Metrics), the underlying
+// counters are shared too, so any engine's EnumStats already reflects the
+// whole fleet — read one, do not sum.
+type EnumStats struct {
+	// IOWaitNanos is orchestrator time blocked on window page loads — the
+	// I/O the overlap (and now the prefetch pipeline) failed to hide.
+	IOWaitNanos uint64
+	// PrefetchIssued counts pages speculatively requested for upcoming
+	// windows.
+	PrefetchIssued uint64
+	// PrefetchUseful counts issued pages the next window actually needed.
+	PrefetchUseful uint64
+	// PrefetchWasted counts the mispredicted, canceled, or failed
+	// remainder; Issued = Useful + Wasted once a run settles.
+	PrefetchWasted uint64
+}
+
+// EnumStats returns the engine's cumulative enumeration counters.
+func (e *Engine) EnumStats() EnumStats {
+	return EnumStats{
+		IOWaitNanos:    e.em.ioWaitNanos.Value(),
+		PrefetchIssued: e.em.prefetchIssued.Value(),
+		PrefetchUseful: e.em.prefetchUseful.Value(),
+		PrefetchWasted: e.em.prefetchWasted.Value(),
+	}
+}
+
 // Busy reports whether a run is in flight.
 func (e *Engine) Busy() bool { return e.running.Load() }
 
@@ -322,18 +364,58 @@ func (e *Engine) RunPlanContextFunc(ctx context.Context, p *plan.Plan, onMatch f
 		e.tracer.Emit(obs.Event{Event: "run_start", Levels: p.K, Frames: e.frames})
 	}
 
+	// Carve the prefetch budget out of each level's allocation: the window
+	// iterator chops against winBudget while the carved-off frames hold the
+	// level's in-flight speculative pins, keeping the pool's worst-case pin
+	// count at sum(alloc) = frames. Two guards make the carve pay its way:
+	//
+	//   - at most an eighth of the level's allocation (and never past the
+	//     one-maximal-vertex floor) — shrinking a window budget multiplies
+	//     the level's window count and, through re-iteration, every level
+	//     below it, so a large bite costs far more in extra windows than
+	//     lookahead can hide;
+	//   - at least the pool's coalescing run size — the budget caps the
+	//     length of a speculative run, and runs shorter than the pool's
+	//     own pay a full simulated seek for a handful of pages, costing
+	//     more device time than they hide.
+	//
+	// Levels whose allocation cannot afford that band (in practice the
+	// starved inner levels, whose loads the last-level path already
+	// overlaps with enumeration) skip prefetch instead of degrading it.
+	winBudget := make([]int, len(alloc))
+	copy(winBudget, alloc)
+	var prefetch []*buffer.Prefetcher
+	if e.opts.PrefetchFrames > 0 {
+		prefetch = make([]*buffer.Prefetcher, p.K)
+		for l := range alloc {
+			carve := e.opts.PrefetchFrames
+			if cap := alloc[l] / 8; carve > cap {
+				carve = cap
+			}
+			if max := alloc[l] - e.maxSpan; carve > max {
+				carve = max
+			}
+			if carve >= buffer.DefaultMaxRun {
+				winBudget[l] = alloc[l] - carve
+				prefetch[l] = buffer.NewPrefetcher(e.pool, carve)
+			}
+		}
+	}
+
 	r := &run{
-		ctx:      ctx,
-		e:        e,
-		p:        p,
-		k:        p.K,
-		alloc:    alloc,
-		cand:     make([][]candSeq, len(p.Groups)),
-		winData:  make([]*levelWindow, p.K),
-		onMatch:  onMatch,
-		tracer:   e.tracer,
-		em:       e.em,
-		adaptive: !e.opts.LinearOnlyIntersect,
+		ctx:       ctx,
+		e:         e,
+		p:         p,
+		k:         p.K,
+		alloc:     alloc,
+		winBudget: winBudget,
+		prefetch:  prefetch,
+		cand:      make([][]candSeq, len(p.Groups)),
+		winData:   make([]*levelWindow, p.K),
+		onMatch:   onMatch,
+		tracer:    e.tracer,
+		em:        e.em,
+		adaptive:  !e.opts.LinearOnlyIntersect,
 	}
 	r.arenaPool.New = func() any { return graph.NewArena() }
 	for g := range r.cand {
@@ -452,6 +534,13 @@ type run struct {
 	p     *plan.Plan
 	k     int
 	alloc []int
+	// winBudget is the per-level frame budget the window iterator chops
+	// against: alloc minus the level's prefetch carve.
+	winBudget []int
+	// prefetch holds each level's speculative next-window reader; nil (or a
+	// nil entry) when Options.PrefetchFrames is zero or the level's clamped
+	// carve is too small to coalesce (see the carve loop in Run).
+	prefetch []*buffer.Prefetcher
 
 	// cand[g][l] is the candidate vertex sequence of group g's node at
 	// level l, valid while its parent's current window is set.

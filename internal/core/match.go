@@ -21,6 +21,14 @@ type matcher struct {
 	lastV    graph.VertexID
 	lastAdj  []graph.VertexID
 
+	// pageAdj, when non-nil, replaces lw.adj lookups for this task: the
+	// task started while its window was still loading (lw.sealed unset), so
+	// lw.adj is being written concurrently by other pages' load callbacks
+	// and must not be read. It holds the task's own page's complete
+	// records, the only lw.adj entries such a task may legitimately need
+	// (anything else it touches lives in a sealed outer-level window).
+	pageAdj map[graph.VertexID][]graph.VertexID
+
 	pos2v   []graph.VertexID
 	posMask uint32 // assigned positions
 
@@ -103,6 +111,13 @@ func (m *matcher) adjOfData(v graph.VertexID) []graph.VertexID {
 			}
 		}
 	}
+	if m.pageAdj != nil {
+		// Unsealed window: lw.adj is still being written concurrently.
+		if adj, ok := m.pageAdj[v]; ok {
+			return adj
+		}
+		return nil
+	}
 	if adj, ok := m.lw.adj[v]; ok {
 		return adj
 	}
@@ -150,6 +165,18 @@ func (r *run) extMapPage(page *storage.Page, lw *levelWindow) {
 		return
 	}
 	m := r.newMatcher(lw, false)
+	if !lw.sealed.Load() {
+		// The window is still loading: restrict adjacency lookups to this
+		// page's own complete records (see matcher.pageAdj). The sealed
+		// flag's release/acquire pairing makes a true load prove every
+		// lw.adj write has completed.
+		m.pageAdj = make(map[graph.VertexID][]graph.VertexID, len(page.Records))
+		for _, rec := range page.Records {
+			if !rec.Continues && !rec.Continuation {
+				m.pageAdj[rec.Vertex] = rec.Adj
+			}
+		}
+	}
 	for _, rec := range page.Records {
 		if rec.Continues || rec.Continuation {
 			continue // handled by dispatchSplitVertices after the window loads

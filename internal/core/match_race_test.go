@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"dualsim/internal/graph"
+)
+
+// TestAdjOfDataUnsealedWindowContract pins the invariant behind the
+// loadWindow data-race fix: a matcher created for a still-loading window
+// (extMapPage sets pageAdj when lw.sealed is unset) must never read
+// lw.adj — not even on a lookup miss — because load callbacks of other
+// pages are writing that map under their own mutex. The test runs a
+// concurrent writer exactly like loadWindow's onPage and exercises every
+// adjOfData resolution path; the seed's fallthrough to m.lw.adj[v] makes
+// this fail under -race.
+func TestAdjOfDataUnsealedWindowContract(t *testing.T) {
+	lw := &levelWindow{adj: make(map[graph.VertexID][]graph.VertexID)}
+	outer := &levelWindow{adj: map[graph.VertexID][]graph.VertexID{7: {1, 2}}}
+	outer.sealed.Store(true)
+	r := &run{k: 2, winData: []*levelWindow{outer, lw}}
+	m := &matcher{
+		r:       r,
+		lw:      lw,
+		lastV:   9,
+		lastAdj: []graph.VertexID{1},
+		pageAdj: map[graph.VertexID][]graph.VertexID{3: {4, 5}},
+	}
+
+	// Concurrent load callback: lw.adj is written under loadWindow's local
+	// mutex, which the matcher does not (and must not need to) hold.
+	var mu sync.Mutex
+	done := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			mu.Lock()
+			lw.adj[graph.VertexID(i%64)] = []graph.VertexID{graph.VertexID(i)}
+			mu.Unlock()
+			if i == 0 {
+				close(started)
+			}
+		}
+	}()
+	<-started // the writer is live: every lookup below overlaps its writes
+
+	for i := 0; i < 20000; i++ {
+		if adj := m.adjOfData(9); len(adj) != 1 {
+			t.Fatalf("lastV lookup = %v", adj)
+		}
+		if adj := m.adjOfData(7); len(adj) != 2 {
+			t.Fatalf("outer-window lookup = %v", adj)
+		}
+		if adj := m.adjOfData(3); len(adj) != 2 {
+			t.Fatalf("own-page lookup = %v", adj)
+		}
+		// The interesting case: a vertex on no resolved source. Pre-seal the
+		// only legal answer is "unknown" (nil); consulting lw.adj here is the
+		// race the fix removed.
+		if adj := m.adjOfData(42); adj != nil {
+			t.Fatalf("unsealed miss returned %v", adj)
+		}
+	}
+	close(done)
+	wg.Wait()
+}

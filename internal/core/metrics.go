@@ -19,6 +19,13 @@ type engineMetrics struct {
 	embExternal   *obs.Counter
 	ioWaitNanos   *obs.Counter
 
+	// Prefetch-pipeline counters: pages speculatively requested for the
+	// next window, pages the next window actually needed, and the
+	// mispredicted/canceled/failed remainder.
+	prefetchIssued *obs.Counter
+	prefetchUseful *obs.Counter
+	prefetchWasted *obs.Counter
+
 	windowLoadUS *obs.Histogram // per-window I/O wait to pin all pages (µs)
 	windowPages  *obs.Histogram // pages per merged window
 	candSize     *obs.Histogram // candidate list length per v-group child
@@ -48,6 +55,10 @@ func registerEngineMetrics(reg *obs.Registry, pool *buffer.Pool, retry *storage.
 		embInternal:   reg.Counter("dualsim_embeddings_internal_total", "embeddings whose red match was entirely inside the internal area"),
 		embExternal:   reg.Counter("dualsim_embeddings_external_total", "embeddings found by the external traversal"),
 		ioWaitNanos:   reg.Counter("dualsim_io_wait_nanos_total", "orchestrator time blocked on window page loads (I/O not hidden by overlap)"),
+
+		prefetchIssued: reg.Counter("dualsim_prefetch_issued_total", "pages speculatively requested for upcoming windows"),
+		prefetchUseful: reg.Counter("dualsim_prefetch_useful_total", "prefetched pages the next window actually needed"),
+		prefetchWasted: reg.Counter("dualsim_prefetch_wasted_total", "prefetched pages mispredicted, canceled, or failed"),
 
 		windowLoadUS: reg.Histogram("dualsim_window_load_us", "per-window I/O wait to pin all pages, microseconds"),
 		windowPages:  reg.Histogram("dualsim_window_pages", "pages per merged window"),
@@ -82,6 +93,12 @@ func registerEngineMetrics(reg *obs.Registry, pool *buffer.Pool, retry *storage.
 	})
 	reg.CounterFunc("dualsim_buffer_pin_wait_nanos_total", "time pinners blocked on in-flight page loads", func() uint64 {
 		return pool.Stats().PinWaitNanos
+	})
+	reg.CounterFunc("dualsim_coalesced_runs_total", "multi-page stretches served with a single simulated seek", func() uint64 {
+		return pool.Stats().CoalescedRuns
+	})
+	reg.CounterFunc("dualsim_coalesced_pages_total", "pages covered by coalesced run reads", func() uint64 {
+		return pool.Stats().CoalescedPages
 	})
 	reg.GaugeFunc("dualsim_buffer_hit_ratio", "buffer hits / logical reads", func() float64 {
 		st := pool.Stats()

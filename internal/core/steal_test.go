@@ -56,6 +56,12 @@ func TestAdaptiveMatchesSeedCounts(t *testing.T) {
 			{Threads: 3, LinearOnlyIntersect: true},
 			{Threads: 3, StaticPartition: true},
 			{Threads: 3, LinearOnlyIntersect: true, StaticPartition: true},
+			// Prefetch dimension: speculative cross-window reads must change
+			// I/O timing only, never counts — with the default buffer and
+			// with smaller ones whose carve shrinks the foreground windows.
+			{Threads: 3, PrefetchFrames: 16},
+			{Threads: 3, PrefetchFrames: 16, BufferFrames: 96},
+			{Threads: 3, PrefetchFrames: 8, BufferFrames: 128, StaticPartition: true},
 		} {
 			e, err := NewEngine(db, opt)
 			if err != nil {
@@ -67,8 +73,8 @@ func TestAdaptiveMatchesSeedCounts(t *testing.T) {
 				t.Fatalf("%s: %v", q.Name(), err)
 			}
 			if got != want {
-				t.Fatalf("%s (linearOnly=%v static=%v): engine %d, brute force %d",
-					q.Name(), opt.LinearOnlyIntersect, opt.StaticPartition, got, want)
+				t.Fatalf("%s (linearOnly=%v static=%v prefetch=%d): engine %d, brute force %d",
+					q.Name(), opt.LinearOnlyIntersect, opt.StaticPartition, opt.PrefetchFrames, got, want)
 			}
 		}
 	}

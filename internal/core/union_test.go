@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dualsim/internal/graph"
+)
+
+// unionSortedSeed is the seed's union: repeatedly scan every list head for
+// the global minimum — O(n·k) for k lists of n total elements. Kept as the
+// reference the merge-tree rewrite is checked against.
+func unionSortedSeed(lists [][]graph.VertexID) []graph.VertexID {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]graph.VertexID, 0, total)
+	idx := make([]int, len(lists))
+	for {
+		best := -1
+		var bv graph.VertexID
+		for i, l := range lists {
+			if idx[i] >= len(l) {
+				continue
+			}
+			if best < 0 || l[idx[i]] < bv {
+				best, bv = i, l[idx[i]]
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		if len(out) == 0 || out[len(out)-1] != bv {
+			out = append(out, bv)
+		}
+		idx[best]++
+	}
+}
+
+// randomSortedLists builds k sorted deduplicated lists with overlapping
+// value ranges (duplicates across lists are the interesting case).
+func randomSortedLists(rng *rand.Rand, k, maxLen, valRange int) [][]graph.VertexID {
+	lists := make([][]graph.VertexID, k)
+	for i := range lists {
+		n := rng.Intn(maxLen + 1)
+		seen := make(map[graph.VertexID]bool, n)
+		for j := 0; j < n; j++ {
+			seen[graph.VertexID(rng.Intn(valRange))] = true
+		}
+		l := make([]graph.VertexID, 0, len(seen))
+		for v := range seen {
+			l = append(l, v)
+		}
+		sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+		lists[i] = l
+	}
+	return lists
+}
+
+func TestUnionSortedMatchesSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(9)
+		lists := randomSortedLists(rng, k, 40, 60)
+		want := unionSortedSeed(lists)
+		got := unionSorted(lists)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (k=%d): union mismatch\n got %v\nwant %v\nlists %v",
+				trial, k, got, want, lists)
+		}
+	}
+}
+
+func TestUnionSortedEdgeCases(t *testing.T) {
+	if got := unionSorted(nil); got != nil {
+		t.Fatalf("union of nothing = %v", got)
+	}
+	one := []graph.VertexID{1, 3, 5}
+	if got := unionSorted([][]graph.VertexID{one}); len(got) != 3 {
+		t.Fatalf("single-list union = %v", got)
+	}
+	// Identical lists collapse to one copy.
+	got := unionSorted([][]graph.VertexID{one, one, one})
+	if !reflect.DeepEqual(got, one) {
+		t.Fatalf("union of identical lists = %v", got)
+	}
+	// Inputs must not be modified (groups keep their candidate sequences).
+	a := []graph.VertexID{1, 2, 9}
+	b := []graph.VertexID{2, 4}
+	unionSorted([][]graph.VertexID{a, b})
+	if a[0] != 1 || a[1] != 2 || a[2] != 9 || b[0] != 2 || b[1] != 4 {
+		t.Fatal("unionSorted modified its inputs")
+	}
+}
+
+// BenchmarkUnionSorted compares the merge tree against the seed scan as the
+// group count grows — the seed degrades linearly in k, the tree
+// logarithmically.
+func BenchmarkUnionSorted(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	for _, k := range []int{2, 4, 8, 16} {
+		lists := randomSortedLists(rng, k, 2000, 10000)
+		b.Run(fmt.Sprintf("tree/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				unionSorted(lists)
+			}
+		})
+		b.Run(fmt.Sprintf("seed/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				unionSortedSeed(lists)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dualsim/internal/graph"
@@ -28,6 +29,12 @@ type levelWindow struct {
 	pinned map[storage.PageID]bool
 	// loaded pages by ID for the last-level split-vertex pass.
 	loadedPages map[storage.PageID]*storage.Page
+	// sealed is set (with release semantics) once every page load completed
+	// and split records were merged: from then on adj is read-only. Until
+	// then adj is concurrently written by load callbacks, and last-level
+	// page tasks already running must restrict themselves to their own
+	// page's records (matcher.pageAdj) instead of reading adj.
+	sealed atomic.Bool
 }
 
 // processLevel drives the merged-window iteration at level l (Algorithm 1
@@ -39,6 +46,10 @@ func (r *run) processLevel(l int) error {
 	}
 	merged := r.mergedCandidates(l)
 	iter := windowIterator{r: r, level: l, merged: merged}
+	// Settle the level's speculative reads on every exit path (error,
+	// cancellation, level exhausted): leftover pins must be released before
+	// the caller unloads outer windows or the run returns.
+	defer r.settlePrefetch(l)
 	for iter.next() {
 		// Cancellation gate: every window iteration at every level checks
 		// the run's context, so a cancel stops the traversal within one
@@ -65,6 +76,9 @@ func (r *run) processLevel(l int) error {
 			return err
 		}
 		r.winData[l] = lw
+		// Speculate on the level's next window while this one is enumerated:
+		// its page set is computable from the iterator without loading.
+		r.startPrefetch(l, &iter, lw)
 		r.windowsPer[l]++
 		if l == 0 {
 			r.windows1++
@@ -140,32 +154,52 @@ func (r *run) mergedCandidates(l int) []graph.VertexID {
 	return unionSorted(lists)
 }
 
+// unionSorted merges k sorted candidate lists into one sorted deduplicated
+// list by balanced pairwise rounds (a merge tree): each element moves
+// through O(log k) two-way merges instead of being compared against every
+// list head per output element as in the seed's linear best-of-k scan —
+// O(n log k) total versus O(n·k). The inputs are not modified.
 func unionSorted(lists [][]graph.VertexID) []graph.VertexID {
-	total := 0
-	for _, l := range lists {
-		total += len(l)
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
 	}
-	out := make([]graph.VertexID, 0, total)
-	idx := make([]int, len(lists))
-	for {
-		best := -1
-		var bv graph.VertexID
-		for i, l := range lists {
-			if idx[i] >= len(l) {
-				continue
-			}
-			if best < 0 || l[idx[i]] < bv {
-				best, bv = i, l[idx[i]]
-			}
+	work := make([][]graph.VertexID, len(lists))
+	copy(work, lists)
+	for len(work) > 1 {
+		next := work[: 0 : (len(work)+1)/2]
+		for i := 0; i+1 < len(work); i += 2 {
+			next = append(next, mergeUnion2(work[i], work[i+1]))
 		}
-		if best < 0 {
-			return out
+		if len(work)%2 == 1 {
+			next = append(next, work[len(work)-1])
 		}
-		if len(out) == 0 || out[len(out)-1] != bv {
-			out = append(out, bv)
-		}
-		idx[best]++
+		work = next
 	}
+	return work[0]
+}
+
+// mergeUnion2 merges two sorted lists, dropping duplicates (within and
+// across inputs). The result is freshly allocated; a and b are read-only.
+func mergeUnion2(a, b []graph.VertexID) []graph.VertexID {
+	out := make([]graph.VertexID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v graph.VertexID
+		if j >= len(b) || (i < len(a) && a[i] <= b[j]) {
+			v = a[i]
+			i++
+		} else {
+			v = b[j]
+			j++
+		}
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // windowIterator chops a merged candidate sequence into consecutive windows
@@ -186,7 +220,7 @@ func (it *windowIterator) next() bool {
 		return false
 	}
 	r := it.r
-	budget := r.alloc[it.level]
+	budget := r.winBudget[it.level]
 	newPages := make(map[storage.PageID]bool)
 	i := it.start
 	for i < len(it.merged) {
@@ -224,6 +258,89 @@ func (it *windowIterator) windowVerts() []graph.VertexID {
 	return it.merged[it.curLo:it.curHi]
 }
 
+// peekNextPages predicts the page set of the level's next window without
+// advancing the iterator: it replays next()'s budget walk from the current
+// position, treating the current window's own path pins (cur) as already
+// released — they will be by the time the next window loads. Only pages
+// that will actually need a read are returned (pages held by outer-level
+// windows stay resident), ascending, truncated to max. Returns nil when
+// the level is exhausted.
+func (it *windowIterator) peekNextPages(cur *levelWindow, max int) []storage.PageID {
+	if it.start >= len(it.merged) || max <= 0 {
+		return nil
+	}
+	r := it.r
+	budget := r.winBudget[it.level]
+	curSet := make(map[storage.PageID]bool, len(cur.pages))
+	for _, p := range cur.pages {
+		curSet[p] = true
+	}
+	// effective path-pin count once the current window unloads
+	free := func(p storage.PageID) bool {
+		n := r.pathPinned[p]
+		if curSet[p] {
+			n--
+		}
+		return n == 0
+	}
+	newPages := make(map[storage.PageID]bool)
+	var pages []storage.PageID
+	for i := it.start; i < len(it.merged); i++ {
+		first, last := r.e.db.SpanOf(it.merged[i])
+		added := 0
+		for p := first; p <= last; p++ {
+			if free(p) && !newPages[p] {
+				added++
+			}
+		}
+		if len(newPages)+added > budget {
+			break
+		}
+		for p := first; p <= last; p++ {
+			if free(p) && !newPages[p] {
+				newPages[p] = true
+				pages = append(pages, p)
+			}
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	if len(pages) > max {
+		pages = pages[:max]
+	}
+	return pages
+}
+
+// startPrefetch begins the level's speculative round for the window after
+// lw, if the level has a prefetcher and the iterator has more vertices.
+// The round covers the leading pages of the next window's predicted page
+// set, clipped to the carved budget — the prefetcher pins what it loads so
+// the speculation survives the last level's eviction churn until the
+// window transition collects it.
+func (r *run) startPrefetch(l int, it *windowIterator, lw *levelWindow) {
+	if r.prefetch == nil || r.prefetch[l] == nil {
+		return
+	}
+	pf := r.prefetch[l]
+	pids := it.peekNextPages(lw, pf.Budget())
+	if len(pids) == 0 {
+		return
+	}
+	n := pf.Start(r.ctx, pids)
+	r.em.prefetchIssued.Add(uint64(n))
+}
+
+// settlePrefetch cancels and releases whatever the level's prefetcher still
+// holds, counting it all as wasted (the window-skip / error-exit path).
+func (r *run) settlePrefetch(l int) {
+	if r.prefetch == nil || r.prefetch[l] == nil {
+		return
+	}
+	_, wasted := r.prefetch[l].Collect(nil)
+	if wasted > 0 {
+		r.em.prefetchWasted.Add(uint64(wasted))
+	}
+}
+
 // loadWindow pins every page needed by the window's vertices, builds the
 // merged adjacency map, and splits the window per group. When lastLevel is
 // set, complete records are dispatched to the matching workers as each page
@@ -253,6 +370,20 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 	lw.pages = pages
 
+	// Settle the level's speculative round before issuing this window's
+	// reads: pages the prediction got right are still resident and turn the
+	// reads below into buffer hits; the speculative pins are released first
+	// so the pool's worst case stays within the level's allocation.
+	if r.prefetch != nil && r.prefetch[l] != nil {
+		useful, wasted := r.prefetch[l].Collect(func(pid storage.PageID) bool { return seen[pid] })
+		if useful > 0 {
+			r.em.prefetchUseful.Add(uint64(useful))
+		}
+		if wasted > 0 {
+			r.em.prefetchWasted.Add(uint64(wasted))
+		}
+	}
+
 	// Window membership per group: the intersection of the group's candidate
 	// sequence with the merged window range, precomputed so last-level
 	// callbacks can run before all pages land.
@@ -262,29 +393,38 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for _, pid := range pages {
-		r.pathPinned[pid]++
-		wg.Add(1)
-		pid := pid
-		r.e.pool.AsyncReadContext(r.ctx, pid, &wg, func(page *storage.Page, err error) {
-			if err != nil {
-				r.fail(err)
-				return
+	onPage := func(pid storage.PageID, page *storage.Page, err error) {
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		mu.Lock()
+		lw.pinned[pid] = true
+		lw.loadedPages[pid] = page
+		for _, rec := range page.Records {
+			if !rec.Continues && !rec.Continuation {
+				lw.adj[rec.Vertex] = rec.Adj
 			}
-			mu.Lock()
-			lw.pinned[pid] = true
-			lw.loadedPages[pid] = page
-			for _, rec := range page.Records {
-				if !rec.Continues && !rec.Continuation {
-					lw.adj[rec.Vertex] = rec.Adj
-				}
-			}
-			mu.Unlock()
-			if lastLevel {
-				// Overlap: match complete records while later pages load.
-				r.workers.submit(func() { r.extMapPage(page, lw) })
-			}
-		})
+		}
+		mu.Unlock()
+		if lastLevel {
+			// Overlap: match complete records while later pages load.
+			r.workers.submit(func() { r.extMapPage(page, lw) })
+		}
+	}
+	// Issue maximal contiguous runs: the pool serves each with one simulated
+	// seek (one device request under a RunReader), delivering pages in order.
+	for i := 0; i < len(pages); {
+		j := i + 1
+		for j < len(pages) && pages[j] == pages[j-1]+1 {
+			j++
+		}
+		for _, pid := range pages[i:j] {
+			r.pathPinned[pid]++
+		}
+		wg.Add(j - i)
+		r.e.pool.AsyncReadRunContext(r.ctx, pages[i], j-i, &wg, onPage)
+		i = j
 	}
 	waitStart := time.Now()
 	wg.Wait()
@@ -303,6 +443,10 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 	}
 	// Merge split adjacency lists (multi-page vertices) for window vertices.
 	r.mergeSplitRecords(lw)
+	// Seal: adj is complete and read-only from here on. Already-dispatched
+	// page tasks that observed the window unsealed keep using their own
+	// page's records; everything dispatched after this point reads adj.
+	lw.sealed.Store(true)
 	return lw, nil
 }
 

@@ -312,26 +312,55 @@ type StatsResponse struct {
 	PlanCache     plan.CacheStats `json:"plan_cache"`
 	Draining      bool            `json:"draining"`
 	UptimeSeconds float64         `json:"uptime_seconds"`
+	// I/O-pipeline counters: orchestrator time blocked on window loads, the
+	// prefetch pipeline's issued/useful/wasted page counts (shared across
+	// the engine fleet via the common registry), and the pool's run
+	// coalescing activity (summed over engines).
+	IOWaitNS       uint64 `json:"io_wait_ns"`
+	PrefetchIssued uint64 `json:"prefetch_issued"`
+	PrefetchUseful uint64 `json:"prefetch_useful"`
+	PrefetchWasted uint64 `json:"prefetch_wasted"`
+	CoalescedRuns  uint64 `json:"coalesced_runs"`
+	CoalescedPages uint64 `json:"coalesced_pages"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	engines := len(s.engines)
+	// The engines share one registry, so enumeration counters (io_wait,
+	// prefetch_*) are fleet-wide on any member — read one, never sum. Pool
+	// counters are per engine and are summed.
+	var enum core.EnumStats
+	if engines > 0 {
+		enum = s.engines[0].EnumStats()
+	}
+	var coRuns, coPages uint64
+	for _, e := range s.engines {
+		st := e.PoolStats()
+		coRuns += st.CoalescedRuns
+		coPages += st.CoalescedPages
+	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Vertices:      s.db.NumVertices(),
-		Edges:         s.db.NumEdges(),
-		Pages:         s.db.NumPages(),
-		PageSize:      s.db.PageSize(),
-		Engines:       engines,
-		EnginesIdle:   len(s.slots),
-		QueueDepth:    int(s.waiters.Load()),
-		QueueCapacity: s.cfg.QueueDepth,
-		Requests:      s.sm.requests.Value(),
-		Rejected:      s.sm.rejectedFull.Value() + s.sm.rejectedWait.Value(),
-		RowsStreamed:  s.sm.rowsStreamed.Value(),
-		PlanCache:     s.cache.Stats(),
-		Draining:      s.draining.Load(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		Vertices:       s.db.NumVertices(),
+		Edges:          s.db.NumEdges(),
+		Pages:          s.db.NumPages(),
+		PageSize:       s.db.PageSize(),
+		Engines:        engines,
+		EnginesIdle:    len(s.slots),
+		QueueDepth:     int(s.waiters.Load()),
+		QueueCapacity:  s.cfg.QueueDepth,
+		Requests:       s.sm.requests.Value(),
+		Rejected:       s.sm.rejectedFull.Value() + s.sm.rejectedWait.Value(),
+		RowsStreamed:   s.sm.rowsStreamed.Value(),
+		PlanCache:      s.cache.Stats(),
+		Draining:       s.draining.Load(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		IOWaitNS:       enum.IOWaitNanos,
+		PrefetchIssued: enum.PrefetchIssued,
+		PrefetchUseful: enum.PrefetchUseful,
+		PrefetchWasted: enum.PrefetchWasted,
+		CoalescedRuns:  coRuns,
+		CoalescedPages: coPages,
 	})
 }

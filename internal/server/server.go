@@ -194,6 +194,10 @@ func (s *Server) registerAggregatePoolMetrics() {
 		sum(func(e *core.Engine) uint64 { return e.PoolStats().Evictions }))
 	s.reg.CounterFunc("dualsim_buffer_pin_wait_nanos_total", "time pinners blocked on in-flight loads (all engines)",
 		sum(func(e *core.Engine) uint64 { return e.PoolStats().PinWaitNanos }))
+	s.reg.CounterFunc("dualsim_coalesced_runs_total", "multi-page stretches served with one simulated seek (all engines)",
+		sum(func(e *core.Engine) uint64 { return e.PoolStats().CoalescedRuns }))
+	s.reg.CounterFunc("dualsim_coalesced_pages_total", "pages covered by coalesced run reads (all engines)",
+		sum(func(e *core.Engine) uint64 { return e.PoolStats().CoalescedPages }))
 	s.reg.GaugeFunc("dualsim_buffer_hit_ratio", "buffer hits / logical reads (all engines)", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()

@@ -149,6 +149,28 @@ func (db *DB) ReadPageInto(pid PageID, buf []byte) error {
 	return nil
 }
 
+// ReadPagesInto reads the raw images of len(buf)/PageSize() consecutive
+// pages starting at first into buf with a single positional read — the
+// device-level half of the buffer pool's sequential run coalescing: one
+// request (and on spinning media one seek) covers the whole run. buf must
+// be a positive multiple of PageSize() bytes and the run must lie inside
+// [0, NumPages()). Safe for concurrent use.
+func (db *DB) ReadPagesInto(first PageID, buf []byte) error {
+	ps := db.PageSize()
+	if len(buf) == 0 || len(buf)%ps != 0 {
+		return fmt.Errorf("storage: run buffer %d bytes, want a positive multiple of %d", len(buf), ps)
+	}
+	n := len(buf) / ps
+	if int(first)+n > db.NumPages() {
+		return &IOError{Page: first, Op: "read", Err: fmt.Errorf("run [%d,%d) out of range [0,%d)", first, int(first)+n, db.NumPages())}
+	}
+	off := int64(db.sb.pageSize) * (int64(first) + 1)
+	if _, err := db.f.ReadAt(buf, off); err != nil {
+		return &IOError{Page: first, Op: "read", Err: err, Transient: transientSyscall(err)}
+	}
+	return nil
+}
+
 // ReadPage reads and parses page pid.
 func (db *DB) ReadPage(pid PageID) (*Page, error) {
 	buf := make([]byte, db.PageSize())

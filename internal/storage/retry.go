@@ -154,6 +154,26 @@ func (r *RetryReader) event(kind string, pid PageID, attempt int) {
 	}
 }
 
+// ReadPagesInto reads the consecutive pages starting at first into buf (a
+// positive multiple of PageSize() bytes), page by page through the retrying
+// ReadPageInto. Unlike *DB.ReadPagesInto the run is not one device request:
+// retry and checksum recovery are per page, so a single flaky page costs
+// only its own budget instead of failing the whole run. The buffer pool
+// still charges the run a single simulated seek, so coalescing keeps its
+// latency benefit under the retry layer.
+func (r *RetryReader) ReadPagesInto(first PageID, buf []byte) error {
+	ps := r.PageSize()
+	if len(buf) == 0 || len(buf)%ps != 0 {
+		return fmt.Errorf("storage: run buffer %d bytes, want a positive multiple of %d", len(buf), ps)
+	}
+	for i := 0; i*ps < len(buf); i++ {
+		if err := r.ReadPageInto(first+PageID(i), buf[i*ps:(i+1)*ps]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ReadPageInto implements PageSource: it fetches pid into buf, verifying
 // the page checksum, retrying per the policy.
 func (r *RetryReader) ReadPageInto(pid PageID, buf []byte) error {
