@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench bench-book bench-book-check smoke-serve clean
+.PHONY: build test race vet fmt lint check bench bench-book bench-book-check smoke-serve soak clean
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,19 @@ bench-book-check:
 # require a clean drain (exit 0).
 smoke-serve:
 	./scripts/serve_smoke.sh
+
+# soak runs the seeded chaos matrix and time-boxed chaos soak under -race:
+# mid-query transient faults, bursts, torn reads, and latency spikes are
+# injected through the server's end-to-end path, and every faulted +
+# resumed query must produce exactly the fault-free counts. Failures print
+# the offending seed; reproduce one with
+#   go test -race -run TestChaosSoak ./internal/server -v   (same seed base)
+# Tune the time box with SOAK_SECONDS (default 20 here).
+SOAK_SECONDS ?= 20
+soak:
+	SOAK_SECONDS=$(SOAK_SECONDS) $(GO) test -race -count=1 -v \
+		-run 'TestChaosMatrixFaultedResumeExactCounts|TestChaosSoak' \
+		./internal/server
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,7 @@ import (
 	"dualsim/internal/core"
 	"dualsim/internal/dataset"
 	"dualsim/internal/exp"
+	"dualsim/internal/faultdb"
 	"dualsim/internal/gen"
 	"dualsim/internal/graph"
 	"dualsim/internal/rbi"
@@ -347,6 +348,52 @@ func BenchmarkWindowEnum(b *testing.B) {
 	}
 	b.Run("io-nopfetch", func(b *testing.B) { runIO(b, 0) })
 	b.Run("io-prefetch", func(b *testing.B) { runIO(b, 16) })
+
+	// Survivability variant: the same I/O-bound configuration on a device
+	// injecting seeded transient-fault bursts (correlated failures, the
+	// kind that outlive the read-retry budget and force whole-window
+	// recoveries). window_retries/op is how many window retries each run
+	// absorbed; the time/op gap against io-nopfetch is the price of
+	// surviving them (failed attempts re-read only the faulted window,
+	// not the run).
+	b.Run("io-faulted", func(b *testing.B) {
+		fdb := faultdb.Wrap(db, faultdb.Options{Seed: 7}).Chaos(faultdb.ChaosSchedule{
+			FaultRate:  0.005,
+			BurstEvery: 300,
+			BurstLen:   40,
+			BurstRate:  0.6,
+		})
+		eng, err := core.NewEngine(fdb, core.Options{
+			Threads:        4,
+			BufferFrames:   176,
+			PerPageLatency: 200 * time.Microsecond,
+			SeekLatency:    2 * time.Millisecond,
+			Retry: &storage.RetryPolicy{
+				MaxRetries: 1,
+				Sleep:      func(time.Duration) {},
+			},
+			WindowRetries:    64,
+			WindowRetrySleep: func(time.Duration) {},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		var retries uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Run(graph.Clique4())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Count == 0 {
+				b.Fatal("suspicious zero count")
+			}
+			retries += res.WindowRetries
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(retries)/float64(b.N), "window_retries/op")
+	})
 }
 
 // --- ablation benches (design choices from DESIGN.md §5) ----------------------

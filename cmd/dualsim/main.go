@@ -150,6 +150,7 @@ func cmdQuery(args []string) error {
 	prefetch := fs.Int("prefetch", 0, "frames per level carved out for cross-window prefetch (0 = off)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	retries := fs.Int("retries", 0, "retry transient read failures up to N times (0 = no retry layer)")
+	windowRetries := fs.Int("window-retries", 0, "reload a window up to N times when a transient fault outlives -retries (0 = off)")
 	print := fs.Bool("print", false, "print each embedding")
 	jsonOut := fs.Bool("json", false, "emit the result and metrics snapshot as one JSON object on stdout")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
@@ -174,6 +175,7 @@ func cmdQuery(args []string) error {
 		BufferFrames:     *frames,
 		PrefetchFrames:   *prefetch,
 		Timeout:          *timeout,
+		WindowRetries:    *windowRetries,
 		MetricsAddr:      *metricsAddr,
 		ProgressInterval: *progress,
 	}
@@ -225,6 +227,9 @@ func cmdQuery(args []string) error {
 	fmt.Printf("prep %v, exec %v, %d physical reads, %d frames, %d level-1 windows, %d red vertices in %d v-groups\n",
 		res.PrepTime, res.ExecTime, res.PhysicalReads, res.BufferFrames, res.Level1Windows,
 		res.RedVertices, res.VGroups)
+	if res.WindowRetries > 0 {
+		fmt.Printf("recovered from transient faults via %d window retries\n", res.WindowRetries)
+	}
 	return nil
 }
 
@@ -244,6 +249,10 @@ func cmdServe(args []string) error {
 	frames := fs.Int("frames", 0, "global buffer budget in frames (overrides -buffer), divided across engines")
 	prefetch := fs.Int("prefetch", 0, "frames per level carved out for cross-window prefetch, per engine (0 = off)")
 	threads := fs.Int("threads", 0, "worker threads per engine (0 = GOMAXPROCS/engines)")
+	retries := fs.Int("retries", 0, "retry transient read failures up to N times (0 = no retry layer)")
+	windowRetries := fs.Int("window-retries", 0, "reload a window up to N times when a transient fault outlives -retries (0 = off)")
+	resumeEvery := fs.Int("resume-every", 0, "emit a resume_token record every Nth checkpoint in embeddings streams (0 = every checkpoint, <0 = suppress)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "circuit-breaker open -> half-open delay (0 = 1s)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to let in-flight queries finish after SIGTERM")
 	fs.Parse(args)
 	if *dbPath == "" {
@@ -254,18 +263,25 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer db.Close()
+	engOpts := dualsim.Options{
+		Threads:        *threads,
+		BufferFraction: *buffer,
+		BufferFrames:   *frames,
+		PrefetchFrames: *prefetch,
+		WindowRetries:  *windowRetries,
+	}
+	if *retries > 0 {
+		engOpts.Retry = &dualsim.RetryPolicy{MaxRetries: *retries}
+	}
 	srv, err := db.NewServer(dualsim.ServerConfig{
-		Engines:       *engines,
-		QueueDepth:    *queue,
-		QueueWait:     *queueWait,
-		RowLimit:      *rowLimit,
-		PlanCacheSize: *planCache,
-		Engine: dualsim.Options{
-			Threads:        *threads,
-			BufferFraction: *buffer,
-			BufferFrames:   *frames,
-			PrefetchFrames: *prefetch,
-		},
+		Engines:          *engines,
+		QueueDepth:       *queue,
+		QueueWait:        *queueWait,
+		RowLimit:         *rowLimit,
+		PlanCacheSize:    *planCache,
+		ResumeTokenEvery: *resumeEvery,
+		BreakerCooldown:  *breakerCooldown,
+		Engine:           engOpts,
 	})
 	if err != nil {
 		return err

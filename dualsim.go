@@ -293,6 +293,15 @@ type Options struct {
 	// checksum mismatches are re-read once (torn-read tolerance) before
 	// surfacing a *CorruptPageError.
 	Retry *RetryPolicy
+	// WindowRetries, when positive, adds whole-window recovery above the
+	// read-level retries: a transient fault that exhausts Retry's budget
+	// discards the window's partial work (counts stay exact) and reloads
+	// the window up to this many times before failing the run.
+	WindowRetries int
+	// WindowRetryBackoff is the first window-retry delay (default 50ms),
+	// doubling per attempt up to WindowRetryMaxBackoff (default 2s).
+	WindowRetryBackoff    time.Duration
+	WindowRetryMaxBackoff time.Duration
 	// MetricsAddr, when non-empty, serves the engine's metrics over HTTP
 	// for the engine's lifetime: /metrics (Prometheus text format),
 	// /debug/vars (JSON snapshot) and /debug/pprof. Use ":0" to bind a
@@ -326,20 +335,23 @@ func (o Options) coreOptions() core.Options {
 		pw = os.Stderr
 	}
 	return core.Options{
-		Threads:          o.Threads,
-		BufferFrames:     o.BufferFrames,
-		BufferFraction:   o.BufferFraction,
-		PrefetchFrames:   o.PrefetchFrames,
-		CoverMode:        mode,
-		EqualAllocation:  o.EqualAllocation,
-		WorstOrder:       o.WorstOrder,
-		PerPageLatency:   o.PerPageLatency,
-		SeekLatency:      o.SeekLatency,
-		Timeout:          o.Timeout,
-		Retry:            o.Retry,
-		Tracer:           tracer,
-		ProgressInterval: o.ProgressInterval,
-		ProgressWriter:   pw,
+		Threads:               o.Threads,
+		BufferFrames:          o.BufferFrames,
+		BufferFraction:        o.BufferFraction,
+		PrefetchFrames:        o.PrefetchFrames,
+		CoverMode:             mode,
+		EqualAllocation:       o.EqualAllocation,
+		WorstOrder:            o.WorstOrder,
+		PerPageLatency:        o.PerPageLatency,
+		SeekLatency:           o.SeekLatency,
+		Timeout:               o.Timeout,
+		Retry:                 o.Retry,
+		WindowRetries:         o.WindowRetries,
+		WindowRetryBackoff:    o.WindowRetryBackoff,
+		WindowRetryMaxBackoff: o.WindowRetryMaxBackoff,
+		Tracer:                tracer,
+		ProgressInterval:      o.ProgressInterval,
+		ProgressWriter:        pw,
 	}
 }
 
@@ -365,6 +377,9 @@ type Result struct {
 	// v-group sequences.
 	RedVertices int `json:"red_vertices"`
 	VGroups     int `json:"v_groups"`
+	// WindowRetries counts whole-window recoveries this run absorbed
+	// (always zero unless Options.WindowRetries is set).
+	WindowRetries uint64 `json:"window_retries,omitempty"`
 	// Metrics is a snapshot of the engine's metric registry at the end of
 	// the run; counters are cumulative across runs of one engine.
 	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
@@ -457,6 +472,7 @@ func publicResult(res *core.Result) *Result {
 		Level1Windows: res.Level1Windows,
 		RedVertices:   res.Plan.K,
 		VGroups:       len(res.Plan.Groups),
+		WindowRetries: res.WindowRetries,
 		Metrics:       res.Metrics,
 	}
 }

@@ -78,6 +78,24 @@ type Options struct {
 	// storage.RetryReader with this policy, absorbing transient device
 	// faults and torn reads before they reach the engine.
 	Retry *storage.RetryPolicy
+	// WindowRetries bounds whole-window retries: when a transient fault
+	// survives the read-level Retry budget mid-window, the engine drains
+	// the window's tasks, discards its partial counts and pins, backs off,
+	// and reloads the same window instead of failing the run. Pages that
+	// loaded before the fault are still resident, so a retry re-reads only
+	// the pages that actually failed. Zero disables window retry; permanent
+	// errors (corruption, out-of-range) are never retried.
+	WindowRetries int
+	// WindowRetryBackoff is the delay before the first window retry,
+	// doubling per attempt up to WindowRetryMaxBackoff (defaults
+	// 10ms / 250ms). The total stall of one window is therefore bounded by
+	// WindowRetries * WindowRetryMaxBackoff plus the read-level budget per
+	// attempt — see TestRetryBackoffComposition.
+	WindowRetryBackoff time.Duration
+	// WindowRetryMaxBackoff caps the per-attempt window backoff.
+	WindowRetryMaxBackoff time.Duration
+	// WindowRetrySleep replaces the context-aware backoff wait (tests).
+	WindowRetrySleep func(time.Duration)
 	// OnMatch, when non-nil, is invoked for every embedding with the
 	// mapping m (query vertex -> data vertex). It is called concurrently
 	// from multiple workers and the slice is reused; copy it if retained.
@@ -129,6 +147,13 @@ type Result struct {
 	// IOWait is orchestrator time blocked on page loads — the I/O cost not
 	// hidden behind enumeration work (the paper's overlap target).
 	IOWait time.Duration
+	// Resumed reports that the run replayed from a Checkpoint; Count then
+	// includes the checkpoint's settled totals.
+	Resumed bool
+	// WindowRetries counts whole-window retry attempts this run absorbed
+	// (transient faults that survived the read-level budget but not the
+	// window-level one).
+	WindowRetries uint64
 	// Metrics is a snapshot of the engine's metric registry at the end of
 	// the run. Counters are cumulative across runs of one engine.
 	Metrics *obs.Snapshot
@@ -284,15 +309,23 @@ type EnumStats struct {
 	// PrefetchWasted counts the mispredicted, canceled, or failed
 	// remainder; Issued = Useful + Wasted once a run settles.
 	PrefetchWasted uint64
+	// CheckpointsTaken counts window-boundary checkpoints delivered to run
+	// callbacks.
+	CheckpointsTaken uint64
+	// WindowRetries counts whole-window retries absorbed after a transient
+	// fault outlived the read-level retry budget.
+	WindowRetries uint64
 }
 
 // EnumStats returns the engine's cumulative enumeration counters.
 func (e *Engine) EnumStats() EnumStats {
 	return EnumStats{
-		IOWaitNanos:    e.em.ioWaitNanos.Value(),
-		PrefetchIssued: e.em.prefetchIssued.Value(),
-		PrefetchUseful: e.em.prefetchUseful.Value(),
-		PrefetchWasted: e.em.prefetchWasted.Value(),
+		IOWaitNanos:      e.em.ioWaitNanos.Value(),
+		PrefetchIssued:   e.em.prefetchIssued.Value(),
+		PrefetchUseful:   e.em.prefetchUseful.Value(),
+		PrefetchWasted:   e.em.prefetchWasted.Value(),
+		CheckpointsTaken: e.em.checkpoints.Value(),
+		WindowRetries:    e.em.windowRetries.Value(),
 	}
 }
 
@@ -335,6 +368,21 @@ func (e *Engine) RunPlanContext(ctx context.Context, p *plan.Plan) (*Result, err
 // be shared: execution never mutates it, so one cached *Plan can serve
 // concurrent runs on different engines.
 func (e *Engine) RunPlanContextFunc(ctx context.Context, p *plan.Plan, onMatch func(m []graph.VertexID)) (*Result, error) {
+	return e.RunSpecContext(ctx, RunSpec{Plan: p, OnMatch: onMatch})
+}
+
+// RunSpecContext executes spec (see RunSpec): RunPlanContextFunc plus
+// checkpoint resume, checkpoint delivery, and per-run prefetch shedding.
+func (e *Engine) RunSpecContext(ctx context.Context, spec RunSpec) (*Result, error) {
+	p := spec.Plan
+	if p == nil {
+		return nil, fmt.Errorf("core: RunSpec without a plan")
+	}
+	if spec.Resume != nil {
+		if err := e.validateResume(spec.Resume, p); err != nil {
+			return nil, err
+		}
+	}
 	if !e.running.CompareAndSwap(false, true) {
 		return nil, ErrEngineBusy
 	}
@@ -385,7 +433,7 @@ func (e *Engine) RunPlanContextFunc(ctx context.Context, p *plan.Plan, onMatch f
 	winBudget := make([]int, len(alloc))
 	copy(winBudget, alloc)
 	var prefetch []*buffer.Prefetcher
-	if e.opts.PrefetchFrames > 0 {
+	if e.opts.PrefetchFrames > 0 && !spec.DisablePrefetch {
 		prefetch = make([]*buffer.Prefetcher, p.K)
 		for l := range alloc {
 			carve := e.opts.PrefetchFrames
@@ -403,19 +451,30 @@ func (e *Engine) RunPlanContextFunc(ctx context.Context, p *plan.Plan, onMatch f
 	}
 
 	r := &run{
-		ctx:       ctx,
-		e:         e,
-		p:         p,
-		k:         p.K,
-		alloc:     alloc,
-		winBudget: winBudget,
-		prefetch:  prefetch,
-		cand:      make([][]candSeq, len(p.Groups)),
-		winData:   make([]*levelWindow, p.K),
-		onMatch:   onMatch,
-		tracer:    e.tracer,
-		em:        e.em,
-		adaptive:  !e.opts.LinearOnlyIntersect,
+		ctx:          ctx,
+		e:            e,
+		p:            p,
+		k:            p.K,
+		alloc:        alloc,
+		winBudget:    winBudget,
+		prefetch:     prefetch,
+		cand:         make([][]candSeq, len(p.Groups)),
+		winData:      make([]*levelWindow, p.K),
+		onMatch:      spec.OnMatch,
+		onCheckpoint: spec.OnCheckpoint,
+		tracer:       e.tracer,
+		em:           e.em,
+		adaptive:     !e.opts.LinearOnlyIntersect,
+	}
+	if cp := spec.Resume; cp != nil {
+		// Start from the frontier: totals from the checkpoint, the level-1
+		// iterator from its cursor, window ordinals continuing where the
+		// interrupted run stopped. Windows before the cursor are never
+		// touched — no candidate work, no page reads.
+		r.resumeCursor = cp.Cursor
+		r.internalCount.Store(cp.Internal)
+		r.externalCount.Store(cp.External)
+		r.windows1 = cp.Windows
 	}
 	r.arenaPool.New = func() any { return graph.NewArena() }
 	for g := range r.cand {
@@ -428,6 +487,7 @@ func (e *Engine) RunPlanContextFunc(ctx context.Context, p *plan.Plan, onMatch f
 		}
 	}
 	r.windowsPer = make([]int, p.K)
+	r.windowsPer[0] = r.windows1 // ordinal continuity across a resume
 	r.workers = newWorkerPool(e.opts.Threads, e.em.workerSubmitted, e.em.workerCompleted)
 	defer r.workers.close()
 
@@ -470,6 +530,7 @@ func (e *Engine) RunPlanContextFunc(ctx context.Context, p *plan.Plan, onMatch f
 		Plan:     p,
 		PrepTime: p.PrepTime,
 		ExecTime: time.Since(startExec),
+		Resumed:  spec.Resume != nil,
 		IO: buffer.Stats{
 			LogicalReads:  statsAfter.LogicalReads - statsBefore.LogicalReads,
 			PhysicalReads: statsAfter.PhysicalReads - statsBefore.PhysicalReads,
@@ -481,6 +542,7 @@ func (e *Engine) RunPlanContextFunc(ctx context.Context, p *plan.Plan, onMatch f
 		WindowsPerLevel: r.windowsPer,
 		BufferFrames:    e.frames,
 		IOWait:          r.ioWait,
+		WindowRetries:   r.windowRetries,
 		Metrics:         e.reg.Snapshot(),
 	}, nil
 }
@@ -570,25 +632,57 @@ type run struct {
 	// ioWait accumulates time the orchestrator spent blocked on window
 	// loads — the I/O cost the overlap strategy failed to hide.
 	ioWait time.Duration
+	// windowRetries counts whole-window retries this run absorbed.
+	windowRetries uint64
 
-	errOnce sync.Once
-	err     atomic.Value // error
+	// err is the run's first failure. Boxed so the window-retry path can
+	// absorb a transient fault with a CAS back to nil: the box pointer
+	// identifies exactly the failure being absorbed, and a different error
+	// landing concurrently survives the clear.
+	err atomic.Pointer[runErrBox]
+
+	// resumeCursor is the level-1 candidate index enumeration starts from
+	// (zero for a fresh run).
+	resumeCursor int
+	// onCheckpoint, when non-nil, receives the frontier after each
+	// completed level-1 window (orchestrator goroutine only).
+	onCheckpoint func(Checkpoint)
 
 	onMatch func([]graph.VertexID)
 }
+
+type runErrBox struct{ err error }
 
 func (r *run) fail(err error) {
 	if err == nil {
 		return
 	}
-	r.errOnce.Do(func() { r.err.Store(err) })
+	r.err.CompareAndSwap(nil, &runErrBox{err: err})
 }
 
 func (r *run) firstErr() error {
-	if v := r.err.Load(); v != nil {
-		return v.(error)
+	if b := r.err.Load(); b != nil {
+		return b.err
 	}
 	return nil
+}
+
+// doomed reports whether the run error, if any, is certain to fail the run.
+// Enumeration tasks may skip their work only in that case: a transient fault
+// can still be absorbed by a window retry (loadWindowWithRetry), and a task
+// that skipped on a later-absorbed error is never re-dispatched — the
+// surviving run would settle an undercount.
+func (r *run) doomed() bool {
+	err := r.firstErr()
+	return err != nil && !storage.IsTransient(err)
+}
+
+// absorbErr clears the run error iff it is still exactly the failure the
+// window-retry path decided to absorb. Safe because every writer that could
+// have stored this box (the failed window's load callbacks and tasks) has
+// completed by the time the retry path drained and unloaded the window.
+func (r *run) absorbErr(b *runErrBox) bool {
+	return r.err.CompareAndSwap(b, nil)
 }
 
 // candSeq is a candidate vertex sequence: either the full vertex range or an

@@ -59,18 +59,18 @@ func (r *run) newMatcher(lw *levelWindow, internal bool) *matcher {
 	return m
 }
 
-// flush publishes the task's local counters: once into the run totals,
-// once into the engine's cumulative metrics, and the arena's
-// kernel-selection counts into the registry. Batching per task keeps the
-// per-embedding hot path free of shared-cacheline traffic.
+// flush publishes the task's local counters into its window's accumulators
+// (merged into the run totals and engine metrics only when the window
+// completes — see settleWindowCounts; window-local counts are what makes
+// whole-window retry idempotent) and the arena's kernel-selection counts
+// into the registry. Batching per task keeps the per-embedding hot path
+// free of shared-cacheline traffic.
 func (m *matcher) flush() {
 	if m.localInternal > 0 {
-		m.r.internalCount.Add(m.localInternal)
-		m.r.em.embInternal.Add(m.localInternal)
+		m.lw.internal.Add(m.localInternal)
 	}
 	if m.localExternal > 0 {
-		m.r.externalCount.Add(m.localExternal)
-		m.r.em.embExternal.Add(m.localExternal)
+		m.lw.external.Add(m.localExternal)
 	}
 	if m.arena != nil {
 		st := m.arena.TakeStats()
@@ -161,7 +161,7 @@ func (m *matcher) allInternal() bool {
 // just-loaded last-level page. Invoked on a worker while later pages of the
 // window may still be loading.
 func (r *run) extMapPage(page *storage.Page, lw *levelWindow) {
-	if r.firstErr() != nil {
+	if r.doomed() {
 		return
 	}
 	m := r.newMatcher(lw, false)
@@ -191,7 +191,7 @@ func (r *run) extMapPage(page *storage.Page, lw *levelWindow) {
 
 // extMapVertex handles one multi-page vertex with its merged adjacency.
 func (r *run) extMapVertex(v graph.VertexID, adj []graph.VertexID, lw *levelWindow) {
-	if r.firstErr() != nil {
+	if r.doomed() {
 		return
 	}
 	m := r.newMatcher(lw, false)
@@ -360,7 +360,7 @@ const minStealSpan = 2
 // remaining range as a new task, so one skewed high-degree candidate region
 // cannot stall the window on a single worker.
 func (r *run) internalEnumerate(g int, verts []graph.VertexID, lw *levelWindow) {
-	if r.firstErr() != nil {
+	if r.doomed() {
 		return
 	}
 	m := r.newMatcher(lw, true)

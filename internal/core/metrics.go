@@ -19,6 +19,12 @@ type engineMetrics struct {
 	embExternal   *obs.Counter
 	ioWaitNanos   *obs.Counter
 
+	// Survivability counters: window-boundary checkpoints delivered to a
+	// run's OnCheckpoint callback, and whole-window retries absorbed after
+	// a transient fault outlived the read-level retry budget.
+	checkpoints   *obs.Counter
+	windowRetries *obs.Counter
+
 	// Prefetch-pipeline counters: pages speculatively requested for the
 	// next window, pages the next window actually needed, and the
 	// mispredicted/canceled/failed remainder.
@@ -55,6 +61,9 @@ func registerEngineMetrics(reg *obs.Registry, pool *buffer.Pool, retry *storage.
 		embInternal:   reg.Counter("dualsim_embeddings_internal_total", "embeddings whose red match was entirely inside the internal area"),
 		embExternal:   reg.Counter("dualsim_embeddings_external_total", "embeddings found by the external traversal"),
 		ioWaitNanos:   reg.Counter("dualsim_io_wait_nanos_total", "orchestrator time blocked on window page loads (I/O not hidden by overlap)"),
+
+		checkpoints:   reg.Counter("dualsim_checkpoints_taken_total", "window-boundary checkpoints delivered to run callbacks"),
+		windowRetries: reg.Counter("dualsim_window_retries_total", "whole-window retries after a transient fault outlived the read-level retry budget"),
 
 		prefetchIssued: reg.Counter("dualsim_prefetch_issued_total", "pages speculatively requested for upcoming windows"),
 		prefetchUseful: reg.Counter("dualsim_prefetch_useful_total", "prefetched pages the next window actually needed"),

@@ -35,6 +35,15 @@ type levelWindow struct {
 	// page tasks already running must restrict themselves to their own
 	// page's records (matcher.pageAdj) instead of reading adj.
 	sealed atomic.Bool
+
+	// internal/external accumulate the embeddings found by tasks attached
+	// to this window. Keeping counts window-local until the window
+	// completes makes whole-window retry idempotent: a failed attempt's
+	// partial counts are simply never merged into the run totals
+	// (settleWindowCounts), so re-dispatching the window cannot double
+	// count.
+	internal atomic.Uint64
+	external atomic.Uint64
 }
 
 // processLevel drives the merged-window iteration at level l (Algorithm 1
@@ -46,6 +55,16 @@ func (r *run) processLevel(l int) error {
 	}
 	merged := r.mergedCandidates(l)
 	iter := windowIterator{r: r, level: l, merged: merged}
+	if l == 0 && r.resumeCursor > 0 {
+		// Resume: skip every level-1 window before the checkpoint cursor.
+		// Level 1 is always a forest root, so merged is the full vertex
+		// range and the cursor is an engine-independent vertex index.
+		start := r.resumeCursor
+		if start > len(merged) {
+			start = len(merged)
+		}
+		iter.start = start
+	}
 	// Settle the level's speculative reads on every exit path (error,
 	// cancellation, level exhausted): leftover pins must be released before
 	// the caller unloads outer windows or the run returns.
@@ -71,7 +90,7 @@ func (r *run) processLevel(l int) error {
 			}
 			r.tracer.Emit(ev)
 		}
-		lw, err := r.loadWindow(l, verts, l == r.k-1 && r.k > 1)
+		lw, err := r.loadWindowWithRetry(l, verts, l == r.k-1 && r.k > 1, ord)
 		if err != nil {
 			return err
 		}
@@ -104,6 +123,7 @@ func (r *run) processLevel(l int) error {
 				r.dispatchInternal(lw)
 				r.workers.drain()
 			}
+			r.settleWindowCounts(lw)
 		} else {
 			r.computeChildCandidates(l)
 			if l == 0 {
@@ -111,11 +131,17 @@ func (r *run) processLevel(l int) error {
 				r.dispatchInternal(lw)
 			}
 			if err := r.processLevel(l + 1); err != nil {
+				if l == 0 {
+					// Internal tasks still reference lw; let them finish
+					// before the pins go.
+					r.workers.drain()
+				}
 				r.unloadWindow(l, lw)
 				return err
 			}
 			if l == 0 {
 				r.workers.drain() // internal tasks may still be running
+				r.settleWindowCounts(lw)
 			}
 			r.clearChildCandidates(l)
 		}
@@ -127,9 +153,47 @@ func (r *run) processLevel(l int) error {
 		if err := r.firstErr(); err != nil {
 			return err
 		}
+		if l == 0 {
+			// The frontier is settled: deeper windows are exhausted, the
+			// worker pool is drained, counts are merged. This boundary is
+			// the run's recovery point.
+			r.emitCheckpoint(iter.start)
+		}
 	}
 	r.winData[l] = nil
 	return nil
+}
+
+// settleWindowCounts merges a completed window's task-local counts into the
+// run totals and the engine's cumulative metrics. Counts of a window that
+// failed (and is being retried or abandoned) are never settled — that is
+// the idempotence contract of loadWindowWithRetry.
+func (r *run) settleWindowCounts(lw *levelWindow) {
+	if n := lw.internal.Swap(0); n > 0 {
+		r.internalCount.Add(n)
+		r.em.embInternal.Add(n)
+	}
+	if n := lw.external.Swap(0); n > 0 {
+		r.externalCount.Add(n)
+		r.em.embExternal.Add(n)
+	}
+}
+
+// emitCheckpoint delivers the current frontier to the run's checkpoint
+// callback (orchestrator goroutine only; cursor is the level-1 candidate
+// index the next window starts at).
+func (r *run) emitCheckpoint(cursor int) {
+	if r.onCheckpoint == nil {
+		return
+	}
+	r.em.checkpoints.Inc()
+	r.onCheckpoint(Checkpoint{
+		K:        r.k,
+		Cursor:   cursor,
+		Windows:  r.windows1,
+		Internal: r.internalCount.Load(),
+		External: r.externalCount.Load(),
+	})
 }
 
 // mergedCandidates returns the merged candidate vertex sequence for level l:
@@ -341,10 +405,89 @@ func (r *run) settlePrefetch(l int) {
 	}
 }
 
+// loadWindowWithRetry is loadWindow plus whole-window recovery: a transient
+// fault that survived the read-level retry budget drains the window's
+// already-dispatched tasks, discards its pins and partial counts, clears
+// the run error it caused, backs off (exponentially, bounded, observing the
+// run context), and reloads the same window — up to Options.WindowRetries
+// times. Retries are cheap on the I/O side: pages whose loads succeeded
+// before the fault are still resident in the buffer pool, so a retry
+// re-reads only the pages that actually failed. Permanent errors
+// (corruption, cancellation, budget misfits) are returned immediately.
+func (r *run) loadWindowWithRetry(l int, verts []graph.VertexID, lastLevel bool, ord int) (*levelWindow, error) {
+	for attempt := 0; ; attempt++ {
+		lw, err := r.loadWindow(l, verts, lastLevel)
+		if err == nil {
+			return lw, nil
+		}
+		// The failed attempt's tasks may still be running against lw; they
+		// must finish before the pins are released and the counts dropped.
+		if lastLevel {
+			r.workers.drain()
+		}
+		r.unloadWindow(l, lw)
+		lw.internal.Store(0)
+		lw.external.Store(0)
+		if attempt >= r.e.opts.WindowRetries || !storage.IsTransient(err) || r.ctx.Err() != nil {
+			return nil, err
+		}
+		// Absorb exactly the failure this attempt caused; a different error
+		// that landed concurrently (cancellation, a corrupt page on another
+		// path) survives and fails the run on the next gate.
+		box := r.err.Load()
+		if box == nil || box.err != err || !r.absorbErr(box) {
+			return nil, err
+		}
+		r.windowRetries++
+		r.em.windowRetries.Inc()
+		if r.tracer != nil {
+			r.tracer.Emit(obs.Event{Event: "window_retry", Level: l + 1, Window: ord, Attempt: attempt + 1})
+		}
+		if !r.sleepWindowBackoff(attempt) {
+			r.fail(r.ctx.Err())
+			return nil, r.ctx.Err()
+		}
+	}
+}
+
+// sleepWindowBackoff waits the attempt's window-level backoff (0-based,
+// doubling from WindowRetryBackoff up to WindowRetryMaxBackoff), honouring
+// the run context. Reports false when the context ended first.
+func (r *run) sleepWindowBackoff(attempt int) bool {
+	d := r.e.opts.WindowRetryBackoff
+	if d <= 0 {
+		d = 10 * time.Millisecond
+	}
+	max := r.e.opts.WindowRetryMaxBackoff
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if sleep := r.e.opts.WindowRetrySleep; sleep != nil {
+		sleep(d)
+		return r.ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.ctx.Done():
+		return false
+	}
+}
+
 // loadWindow pins every page needed by the window's vertices, builds the
 // merged adjacency map, and splits the window per group. When lastLevel is
 // set, complete records are dispatched to the matching workers as each page
-// load completes, overlapping CPU with the remaining I/O.
+// load completes, overlapping CPU with the remaining I/O. On error the
+// window is returned alongside it still holding its pins — the caller
+// (loadWindowWithRetry) drains in-flight tasks before unloading it.
 func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelWindow, error) {
 	lw := &levelWindow{
 		verts:       make([][]graph.VertexID, len(r.p.Groups)),
@@ -438,8 +581,7 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 			Pages: len(pages), DurUS: wait.Microseconds()})
 	}
 	if err := r.firstErr(); err != nil {
-		r.unloadWindow(l, lw)
-		return nil, err
+		return lw, err
 	}
 	// Merge split adjacency lists (multi-page vertices) for window vertices.
 	r.mergeSplitRecords(lw)

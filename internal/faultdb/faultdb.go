@@ -362,6 +362,81 @@ func (f *DB) BitFlipOnce(pages ...storage.PageID) *DB {
 	return f
 }
 
+// ChaosSchedule is a seeded mid-query fault profile for soak harnesses:
+// a background transient-fault rate that spikes during periodic read
+// bursts, torn reads (one-read bit flips a re-read heals), and slow pages.
+// All probabilistic draws come from the wrapped DB's seeded PRNG, so a
+// given (seed, schedule) pair replays identically for the same read
+// sequence — print the seed on failure and the storm is reproducible.
+type ChaosSchedule struct {
+	// FaultRate is the background probability that a read fails with a
+	// transient *storage.IOError.
+	FaultRate float64
+	// BurstEvery and BurstLen shape fault bursts: within every period of
+	// BurstEvery global reads, the first BurstLen reads fail with
+	// BurstRate instead of FaultRate (zero BurstEvery disables bursts).
+	BurstEvery int64
+	BurstLen   int64
+	BurstRate  float64
+	// TornRate is the probability a read returns a torn page (one payload
+	// bit flipped, tripping the CRC); the next read of the page re-rolls,
+	// so a single re-read usually heals it.
+	TornRate float64
+	// SlowRate is the probability a read serves a latency spike of
+	// SlowDelay.
+	SlowRate  float64
+	SlowDelay time.Duration
+}
+
+type chaosRule struct{ cs ChaosSchedule }
+
+func (r chaosRule) apply(f *DB, n int64, pid storage.PageID, _ int64) (error, bool, time.Duration) {
+	f.mu.Lock()
+	fault, torn, slow := f.rng.float64(), f.rng.float64(), f.rng.float64()
+	f.mu.Unlock()
+	var delay time.Duration
+	if r.cs.SlowRate > 0 && slow < r.cs.SlowRate {
+		delay = r.cs.SlowDelay
+	}
+	p := r.cs.FaultRate
+	if r.cs.BurstEvery > 0 && (n-1)%r.cs.BurstEvery < r.cs.BurstLen {
+		p = r.cs.BurstRate
+	}
+	if p > 0 && fault < p {
+		return storage.NewTransientError(pid, ErrInjected), false, delay
+	}
+	return nil, r.cs.TornRate > 0 && torn < r.cs.TornRate, delay
+}
+
+// Chaos installs a seeded chaos schedule (see ChaosSchedule).
+func (f *DB) Chaos(cs ChaosSchedule) *DB {
+	f.addRule(chaosRule{cs: cs})
+	return f
+}
+
+// SlowPages makes every read of the given pages serve a latency spike of d
+// — the stuck-sector schedule.
+func (f *DB) SlowPages(d time.Duration, pages ...storage.PageID) *DB {
+	set := make(map[storage.PageID]bool, len(pages))
+	for _, p := range pages {
+		set[p] = true
+	}
+	f.addRule(slowPages{pages: set, d: d})
+	return f
+}
+
+type slowPages struct {
+	pages map[storage.PageID]bool
+	d     time.Duration
+}
+
+func (r slowPages) apply(_ *DB, _ int64, pid storage.PageID, _ int64) (error, bool, time.Duration) {
+	if r.pages[pid] {
+		return nil, false, r.d
+	}
+	return nil, false, 0
+}
+
 type latency struct {
 	d     time.Duration
 	every int64

@@ -29,6 +29,12 @@ type QueryRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// QueueWaitMS bounds the admission wait (0 = server default).
 	QueueWaitMS int64 `json:"queue_wait_ms,omitempty"`
+	// ResumeToken, when set, resumes a previous run of the SAME query from
+	// the window-boundary checkpoint the token carries. The server replays
+	// only windows at or after the checkpoint; counts come out exactly as
+	// if the original run had finished. Tokens are opaque and bound to the
+	// minting server process and the query's canonical plan.
+	ResumeToken string `json:"resume_token,omitempty"`
 }
 
 // QueryResponse is the POST /query count-mode reply, and the trailer line
@@ -45,11 +51,30 @@ type QueryResponse struct {
 	ExecNS        int64  `json:"exec_ns"`
 	QueueNS       int64  `json:"queue_ns"`
 	PhysicalReads uint64 `json:"physical_reads"`
-	Done          bool   `json:"done"`
+	// Resumed reports the run replayed from a resume_token checkpoint;
+	// Count then includes the checkpoint's settled totals.
+	Resumed bool `json:"resumed,omitempty"`
+	// WindowRetries counts whole-window retries the run absorbed
+	// (transient faults that outlived the read-level retry budget).
+	WindowRetries uint64 `json:"window_retries,omitempty"`
+	// ResumeToken is set on a truncated embeddings trailer: resubmitting
+	// the query with it continues from the last completed window instead
+	// of restarting. Rows from the partially-streamed window are replayed
+	// (at-least-once delivery); counts stay exactly-once.
+	ResumeToken string `json:"resume_token,omitempty"`
+	Done        bool   `json:"done"`
+}
+
+// resumeTokenLine is the periodic mid-stream record carrying a checkpoint.
+type resumeTokenLine struct {
+	ResumeToken string `json:"resume_token"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// ResumeToken carries the last checkpoint of a failed embeddings
+	// stream, so the client can retry from it rather than from scratch.
+	ResumeToken string `json:"resume_token,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -65,7 +90,11 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // reject emits the 429 saturation reply. Retry-After is a best-effort hint:
 // one queue-wait's worth of backoff, in whole seconds (minimum 1).
 func (s *Server) reject(w http.ResponseWriter, reason string) {
-	retry := int(s.cfg.QueueWait / time.Second)
+	s.rejectAfter(w, s.cfg.QueueWait, reason)
+}
+
+func (s *Server) rejectAfter(w http.ResponseWriter, retryAfter time.Duration, reason string) {
+	retry := int(retryAfter / time.Second)
 	if retry < 1 {
 		retry = 1
 	}
@@ -85,6 +114,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.sm.requests.Inc()
+
+	// Breaker gate, before any parsing or admission work: an open breaker
+	// means the device is misbehaving and the cheapest thing the service
+	// can do is tell the client when to come back.
+	allowed, probe, retryAfter := s.br.allow()
+	if !allowed {
+		s.sm.breakerRejects.Inc()
+		s.rejectAfter(w, retryAfter, "circuit breaker open")
+		return
+	}
+	// A granted probe must be settled exactly once: recordRunOutcome (or
+	// cancelProbe, when the request dies before a run settles) clears it.
+	probeArmed := probe
+	defer func() {
+		if probeArmed {
+			s.br.cancelProbe()
+		}
+	}()
 
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -110,10 +157,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	p, perm, cached, err := s.planFor(q)
+	p, perm, planKey, cached, err := s.planFor(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "planning: %v", err)
 		return
+	}
+
+	// Resume-token redemption: verify the signature, then require the token
+	// to have been minted for this exact plan — a checkpoint's cursor and
+	// counts are meaningless under any other matching order.
+	var resume *core.Checkpoint
+	if req.ResumeToken != "" {
+		payload, err := s.tokens.decode(req.ResumeToken)
+		if err != nil {
+			s.sm.resumesRejected.Inc()
+			writeError(w, http.StatusBadRequest, "invalid resume_token")
+			return
+		}
+		if payload.Plan != planKey {
+			s.sm.resumesRejected.Inc()
+			writeError(w, http.StatusConflict, "resume_token was minted for a different query plan")
+			return
+		}
+		resume = &payload.CP
 	}
 
 	// Admission: bounded queue, bounded wait, per-request deadline.
@@ -156,8 +222,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancelT()
 	}
 
+	// A shedding breaker drops speculation first: prefetch multiplies reads
+	// against a device that is already failing them, and the budget carved
+	// from the buffer pool is worth more as demand-fetch frames.
+	spec := core.RunSpec{Plan: p, Resume: resume, DisablePrefetch: s.br.shedding()}
+
 	if !streaming {
-		res, err := eng.RunPlanContextFunc(runCtx, p, nil)
+		res, err := eng.RunSpecContext(runCtx, spec)
+		probeArmed = false
+		s.recordRunOutcome(res, err, probe)
+		s.accountResume(resume, err)
 		if err != nil {
 			s.writeRunError(w, r, err)
 			return
@@ -172,20 +246,61 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			ExecNS:        res.ExecTime.Nanoseconds(),
 			QueueNS:       queueNS,
 			PhysicalReads: res.IO.PhysicalReads,
+			Resumed:       res.Resumed,
+			WindowRetries: res.WindowRetries,
 			Done:          true,
 		})
 		return
 	}
-	s.streamEmbeddings(w, r, req, q, p, perm, cached, eng, runCtx, cancelRun, queueNS)
+	probeArmed = false // streamEmbeddings settles the probe
+	s.streamEmbeddings(w, r, req, q, p, perm, planKey, cached, spec, probe, eng, runCtx, cancelRun, queueNS)
+}
+
+// recordRunOutcome feeds one settled run back to the breaker. Transient
+// storage faults are device trouble; a successful run whose buffer
+// pin-wait crossed the configured pressure threshold counts the same way.
+// Cancellations and corruption say nothing about device health — neutral,
+// though a probe slot still has to be released.
+func (s *Server) recordRunOutcome(res *core.Result, err error, probe bool) {
+	switch {
+	case err == nil:
+		fault := s.cfg.BreakerPinWait > 0 && res != nil &&
+			time.Duration(res.IO.PinWaitNanos) >= s.cfg.BreakerPinWait
+		s.br.record(fault, probe)
+	case storage.IsTransient(err):
+		s.br.record(true, probe)
+	default:
+		if probe {
+			s.br.cancelProbe()
+		}
+	}
+}
+
+// accountResume classifies a redeemed token once its run settles: the
+// engine rejecting the checkpoint (ErrBadCheckpoint) is a rejected resume;
+// anything else means the checkpoint was accepted and replayed.
+func (s *Server) accountResume(resume *core.Checkpoint, err error) {
+	if resume == nil {
+		return
+	}
+	if errors.Is(err, core.ErrBadCheckpoint) {
+		s.sm.resumesRejected.Inc()
+		return
+	}
+	s.sm.resumesOK.Inc()
 }
 
 // streamEmbeddings runs the query and writes one NDJSON line per embedding
 // ([v0,v1,...], query vertex i -> data vertex), then a QueryResponse
-// trailer. The stream is bounded by the row limit; hitting it (or losing
-// the client) cancels the run through its context, which releases every
-// buffer pin and returns the engine clean.
+// trailer. Every ResumeTokenEvery completed level-1 windows it interleaves
+// a {"resume_token": ...} record — an opaque signed checkpoint the client
+// can resubmit to continue the stream after a fault, a disconnect, or a
+// row-limit truncation. The stream is bounded by the row limit; hitting it
+// (or losing the client) cancels the run through its context, which
+// releases every buffer pin and returns the engine clean.
 func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req QueryRequest,
-	q *graph.Query, p *plan.Plan, perm []int, cached bool,
+	q *graph.Query, p *plan.Plan, perm []int, planKey string, cached bool,
+	spec core.RunSpec, probe bool,
 	eng *core.Engine, runCtx context.Context, cancelRun context.CancelFunc, queueNS int64) {
 
 	limit := s.cfg.RowLimit
@@ -200,7 +315,7 @@ func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req Qu
 	var rows uint64
 	truncated := false
 	clientGone := false
-	onMatch := func(m []graph.VertexID) {
+	spec.OnMatch = func(m []graph.VertexID) {
 		mu.Lock()
 		defer mu.Unlock()
 		if truncated || clientGone {
@@ -233,7 +348,41 @@ func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req Qu
 		}
 	}
 
-	res, err := eng.RunPlanContextFunc(runCtx, p, onMatch)
+	// Checkpoints arrive from the run's orchestrator at level-1 window
+	// boundaries, where counts are settled and deeper windows are closed.
+	// lastToken is retained even when the periodic record is suppressed
+	// (cadence, disconnect) so error lines and truncated trailers can still
+	// hand the client a restart point.
+	var lastToken string
+	sinceToken := 0
+	spec.OnCheckpoint = func(cp core.Checkpoint) {
+		tok := s.tokens.encode(resumePayload{V: resumeTokenVersion, Plan: planKey, CP: cp})
+		mu.Lock()
+		defer mu.Unlock()
+		lastToken = tok
+		if s.cfg.ResumeTokenEvery < 0 || truncated || clientGone {
+			return
+		}
+		sinceToken++
+		if sinceToken < s.cfg.ResumeTokenEvery {
+			return
+		}
+		sinceToken = 0
+		line, _ := json.Marshal(resumeTokenLine{ResumeToken: tok})
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			clientGone = true
+			s.sm.disconnects.Inc()
+			cancelRun()
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	res, err := eng.RunSpecContext(runCtx, spec)
+	s.recordRunOutcome(res, err, probe)
+	s.accountResume(spec.Resume, err)
 	mu.Lock()
 	defer mu.Unlock()
 	switch {
@@ -250,12 +399,15 @@ func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req Qu
 			ExecNS:        res.ExecTime.Nanoseconds(),
 			QueueNS:       queueNS,
 			PhysicalReads: res.IO.PhysicalReads,
+			Resumed:       res.Resumed,
+			WindowRetries: res.WindowRetries,
 			Done:          true,
 		}
 		b, _ := json.Marshal(trailer)
 		_, _ = w.Write(append(b, '\n'))
 	case truncated:
-		trailer := QueryResponse{Query: q.Name(), Rows: rows, Truncated: true, PlanCached: cached, QueueNS: queueNS, Done: true}
+		trailer := QueryResponse{Query: q.Name(), Rows: rows, Truncated: true, PlanCached: cached,
+			QueueNS: queueNS, ResumeToken: lastToken, Done: true}
 		b, _ := json.Marshal(trailer)
 		_, _ = w.Write(append(b, '\n'))
 	case clientGone || r.Context().Err() != nil:
@@ -266,8 +418,9 @@ func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req Qu
 			s.sm.disconnects.Inc()
 		}
 	default:
-		// Status already went out; surface the failure as a final line.
-		b, _ := json.Marshal(errorResponse{Error: err.Error()})
+		// Status already went out; surface the failure as a final line, with
+		// the last checkpoint so the client can resume instead of restart.
+		b, _ := json.Marshal(errorResponse{Error: err.Error(), ResumeToken: lastToken})
 		_, _ = w.Write(append(b, '\n'))
 	}
 	if flusher != nil {
@@ -276,12 +429,15 @@ func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req Qu
 }
 
 // writeRunError maps run failures onto HTTP statuses: client cancellations
-// produce no body (the peer is gone), deadline hits are 504, storage
-// corruption and I/O trouble are 500 with the typed message.
+// produce no body (the peer is gone), deadline hits are 504, a rejected
+// resume checkpoint is 409, storage corruption and I/O trouble are 500
+// with the typed message.
 func (s *Server) writeRunError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case r.Context().Err() != nil:
 		s.sm.disconnects.Inc()
+	case errors.Is(err, core.ErrBadCheckpoint):
+		writeError(w, http.StatusConflict, "resume rejected: %v", err)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "run timed out: %v", err)
 	case errors.Is(err, context.Canceled):
@@ -322,6 +478,15 @@ type StatsResponse struct {
 	PrefetchWasted uint64 `json:"prefetch_wasted"`
 	CoalescedRuns  uint64 `json:"coalesced_runs"`
 	CoalescedPages uint64 `json:"coalesced_pages"`
+	// Resilience counters: checkpoint/resume activity, whole-window retry
+	// absorptions, and the pool circuit breaker's state machine.
+	CheckpointsTaken uint64 `json:"checkpoints_taken"`
+	WindowRetries    uint64 `json:"window_retries"`
+	ResumesOK        uint64 `json:"resumes_ok"`
+	ResumesRejected  uint64 `json:"resumes_rejected"`
+	BreakerState     string `json:"breaker_state"`
+	BreakerTrips     uint64 `json:"breaker_trips"`
+	BreakerRejects   uint64 `json:"breaker_rejects"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -341,6 +506,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		coPages += st.CoalescedPages
 	}
 	s.mu.Unlock()
+	brState, brTrips := s.br.snapshot()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Vertices:       s.db.NumVertices(),
 		Edges:          s.db.NumEdges(),
@@ -362,5 +528,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		PrefetchWasted: enum.PrefetchWasted,
 		CoalescedRuns:  coRuns,
 		CoalescedPages: coPages,
+
+		CheckpointsTaken: enum.CheckpointsTaken,
+		WindowRetries:    enum.WindowRetries,
+		ResumesOK:        s.sm.resumesOK.Value(),
+		ResumesRejected:  s.sm.resumesRejected.Value(),
+		BreakerState:     breakerStateName(brState),
+		BreakerTrips:     brTrips,
+		BreakerRejects:   s.sm.breakerRejects.Value(),
 	})
 }

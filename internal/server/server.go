@@ -29,7 +29,6 @@ import (
 	"dualsim/internal/graph"
 	"dualsim/internal/obs"
 	"dualsim/internal/plan"
-	"dualsim/internal/storage"
 )
 
 // maxCanonicalVertices bounds plan-cache participation: the canonical-code
@@ -57,6 +56,30 @@ type Config struct {
 	RowLimit int
 	// PlanCacheSize bounds the canonical-form plan cache (LRU entries).
 	PlanCacheSize int
+	// ResumeTokenEvery is the resume-token cadence of an embeddings
+	// stream: a {"resume_token": ...} record is written after every N
+	// completed level-1 windows (default 1; negative disables tokens).
+	// Error lines and truncated trailers always carry the last token.
+	ResumeTokenEvery int
+	// BreakerWindow is how many settled run outcomes the pool circuit
+	// breaker remembers (default 8).
+	BreakerWindow int
+	// BreakerMinSamples is how many outcomes must accumulate before the
+	// ratios below apply (default 4).
+	BreakerMinSamples int
+	// BreakerShedRatio is the transient-fault fraction at which the pool
+	// degrades: new runs shed their prefetch budget (default 0.25).
+	BreakerShedRatio float64
+	// BreakerOpenRatio is the fraction at which the breaker opens and the
+	// service rejects fast with Retry-After (default 0.5).
+	BreakerOpenRatio float64
+	// BreakerCooldown is the open -> half-open delay; recovery then rides
+	// on single probe requests (default 1s).
+	BreakerCooldown time.Duration
+	// BreakerPinWait, when positive, treats a successful run whose buffer
+	// pin-wait exceeded it as breaker pressure (a fault outcome). Zero
+	// disables the pin-wait input.
+	BreakerPinWait time.Duration
 	// Engine is the per-engine template. Metrics, OnMatch and buffer sizing
 	// are managed by the server (buffer fields are reinterpreted as the
 	// global budget; Threads defaults to GOMAXPROCS/Engines).
@@ -79,6 +102,24 @@ func (c Config) withDefaults() Config {
 	if c.PlanCacheSize <= 0 {
 		c.PlanCacheSize = 64
 	}
+	if c.ResumeTokenEvery == 0 {
+		c.ResumeTokenEvery = 1
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 8
+	}
+	if c.BreakerMinSamples <= 0 {
+		c.BreakerMinSamples = 4
+	}
+	if c.BreakerShedRatio <= 0 {
+		c.BreakerShedRatio = 0.25
+	}
+	if c.BreakerOpenRatio <= 0 {
+		c.BreakerOpenRatio = 0.5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
 	if c.Engine.Threads <= 0 {
 		c.Engine.Threads = runtime.GOMAXPROCS(0) / c.Engines
 		if c.Engine.Threads < 1 {
@@ -91,11 +132,13 @@ func (c Config) withDefaults() Config {
 // Server is the query service. Create with New, expose with Listen (or
 // mount Handler yourself), stop with Drain (graceful) or Close (abrupt).
 type Server struct {
-	db  *storage.DB
+	db  core.Database
 	cfg Config
 	reg *obs.Registry
 
-	cache *plan.Cache
+	cache  *plan.Cache
+	tokens *tokenCodec
+	br     *breaker
 
 	mu      sync.Mutex     // guards engines (recycling swaps entries)
 	engines []*core.Engine // all pool members, for metric aggregation
@@ -115,21 +158,35 @@ type Server struct {
 	sm    *serverMetrics
 }
 
-// New builds the service over db: the engine pool (dividing the configured
-// buffer budget), the plan cache, the metric families, and the HTTP mux.
+// New builds the service over db (any core.Database — *storage.DB in
+// production, a faultdb wrapper in the chaos harness): the engine pool
+// (dividing the configured buffer budget), the plan cache, the resume-token
+// codec, the pool circuit breaker, the metric families, and the HTTP mux.
 // It does not bind a listener; call Listen, or serve Handler yourself.
-func New(db *storage.DB, cfg Config) (*Server, error) {
+func New(db core.Database, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg := cfg.Engine.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	tokens, err := newTokenCodec()
+	if err != nil {
+		return nil, err
+	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
-		db:         db,
-		cfg:        cfg,
-		reg:        reg,
-		cache:      plan.NewCache(cfg.PlanCacheSize),
+		db:     db,
+		cfg:    cfg,
+		reg:    reg,
+		cache:  plan.NewCache(cfg.PlanCacheSize),
+		tokens: tokens,
+		br: newBreaker(breakerConfig{
+			window:     cfg.BreakerWindow,
+			minSamples: cfg.BreakerMinSamples,
+			shedRatio:  cfg.BreakerShedRatio,
+			openRatio:  cfg.BreakerOpenRatio,
+			cooldown:   cfg.BreakerCooldown,
+		}),
 		slots:      make(chan *core.Engine, cfg.Engines),
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
@@ -297,29 +354,34 @@ func (s *Server) closeEngines() {
 // planFor resolves q to an executable plan: canonicalize, consult the
 // cache, Prepare on miss. It returns the plan, the permutation mapping q's
 // vertices onto the plan's query (identity when the cache was bypassed),
-// and whether the plan came from the cache.
-func (s *Server) planFor(q *graph.Query) (*plan.Plan, []int, bool, error) {
+// the stable plan key resume tokens are bound to, and whether the plan
+// came from the cache.
+func (s *Server) planFor(q *graph.Query) (*plan.Plan, []int, string, bool, error) {
 	popts := plan.Options{CoverMode: s.cfg.Engine.CoverMode, WorstOrder: s.cfg.Engine.WorstOrder}
 	if q.NumVertices() > maxCanonicalVertices {
+		// Cache-bypassed queries still need a plan key for resume tokens;
+		// the spec name plus planner knobs is stable across requests that
+		// send the same query body.
+		key := fmt.Sprintf("name:%s|k=%d|cover=%d|worst=%v", q.Name(), q.NumVertices(), popts.CoverMode, popts.WorstOrder)
 		p, err := plan.Prepare(q, popts)
-		return p, identityPerm(q.NumVertices()), false, err
+		return p, identityPerm(q.NumVertices()), key, false, err
 	}
 	code, canon, perm, err := graph.CanonicalQuery(q, q.Name())
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, "", false, err
 	}
 	key := fmt.Sprintf("%s|cover=%d|worst=%v", code, popts.CoverMode, popts.WorstOrder)
 	if p, ok := s.cache.Get(key); ok {
-		return p, perm, true, nil
+		return p, perm, key, true, nil
 	}
 	// Prepare on the canonical representative, so every isomorphic query
 	// maps onto the same plan and the same embedding remapping rule.
 	p, err := plan.Prepare(canon, popts)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, "", false, err
 	}
 	s.cache.Put(key, p)
-	return p, perm, false, nil
+	return p, perm, key, false, nil
 }
 
 func identityPerm(n int) []int {
@@ -390,14 +452,17 @@ func (s *Server) release(e *core.Engine) {
 
 // serverMetrics is the dualsim_server_* family.
 type serverMetrics struct {
-	requests     *obs.Counter
-	rejectedFull *obs.Counter
-	rejectedWait *obs.Counter
-	active       *obs.Gauge
-	queueWaitUS  *obs.Histogram
-	rowsStreamed *obs.Counter
-	disconnects  *obs.Counter
-	recycled     *obs.Counter
+	requests        *obs.Counter
+	rejectedFull    *obs.Counter
+	rejectedWait    *obs.Counter
+	active          *obs.Gauge
+	queueWaitUS     *obs.Histogram
+	rowsStreamed    *obs.Counter
+	disconnects     *obs.Counter
+	recycled        *obs.Counter
+	breakerRejects  *obs.Counter
+	resumesOK       *obs.Counter
+	resumesRejected *obs.Counter
 }
 
 func registerServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
@@ -410,9 +475,24 @@ func registerServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		rowsStreamed: reg.Counter("dualsim_server_rows_streamed_total", "embedding rows streamed to clients"),
 		disconnects:  reg.Counter("dualsim_server_client_disconnects_total", "requests whose client vanished mid-stream (run cancelled)"),
 		recycled:     reg.Counter("dualsim_server_engines_recycled_total", "pool engines replaced because a run leaked buffer pins"),
+
+		breakerRejects:  reg.Counter("dualsim_server_breaker_rejected_total", "requests rejected fast with 429 by the open circuit breaker"),
+		resumesOK:       reg.Counter("dualsim_resumes_ok_total", "resume tokens accepted and replayed"),
+		resumesRejected: reg.Counter("dualsim_resumes_rejected_total", "resume tokens rejected (bad signature, wrong plan, stale checkpoint)"),
 	}
 	reg.CounterFunc("dualsim_server_rejected_total", "requests rejected with 429 (queue full + deadline)", func() uint64 {
 		return sm.rejectedFull.Value() + sm.rejectedWait.Value()
+	})
+	reg.CounterFunc("dualsim_resumes_total", "resume attempts by outcome (ok + rejected)", func() uint64 {
+		return sm.resumesOK.Value() + sm.resumesRejected.Value()
+	})
+	reg.GaugeFunc("dualsim_breaker_state", "pool breaker state: 0 closed, 1 shed, 2 open, 3 half-open", func() float64 {
+		st, _ := s.br.snapshot()
+		return float64(st)
+	})
+	reg.CounterFunc("dualsim_breaker_trips_total", "times the pool breaker opened", func() uint64 {
+		_, trips := s.br.snapshot()
+		return trips
 	})
 	reg.GaugeFunc("dualsim_server_queue_depth", "requests waiting for an engine", func() float64 {
 		return float64(s.waiters.Load())

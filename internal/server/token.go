@@ -1,0 +1,83 @@
+package server
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"dualsim/internal/core"
+)
+
+// resumeTokenVersion gates payload compatibility; bump when the payload
+// layout changes.
+const resumeTokenVersion = 1
+
+// resumePayload is the signed content of a resume token: the checkpoint
+// plus the canonical plan key it was taken under, so a token can only
+// resume the plan (and therefore the exact count semantics) it came from.
+type resumePayload struct {
+	V    int             `json:"v"`
+	Plan string          `json:"plan"`
+	CP   core.Checkpoint `json:"cp"`
+}
+
+// errBadToken reports a resume token that failed decoding or signature
+// verification. Deliberately unspecific: the token is opaque.
+var errBadToken = errors.New("server: invalid resume_token")
+
+// tokenCodec mints and verifies opaque resume tokens:
+// base64url(JSON payload) + "." + base64url(HMAC-SHA256 over the payload).
+// The key is per-process random, so tokens are redeemable only against the
+// server instance that minted them — they are short-lived recovery handles
+// for dropped streams, not portable cursors; signing keeps clients from
+// forging a frontier (arbitrary counts) into the engine.
+type tokenCodec struct{ key []byte }
+
+func newTokenCodec() (*tokenCodec, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("server: generating resume-token key: %w", err)
+	}
+	return &tokenCodec{key: key}, nil
+}
+
+func (tc *tokenCodec) sign(body []byte) []byte {
+	mac := hmac.New(sha256.New, tc.key)
+	mac.Write(body)
+	return mac.Sum(nil)
+}
+
+func (tc *tokenCodec) encode(p resumePayload) string {
+	body, _ := json.Marshal(p)
+	enc := base64.RawURLEncoding
+	return enc.EncodeToString(body) + "." + enc.EncodeToString(tc.sign(body))
+}
+
+func (tc *tokenCodec) decode(s string) (resumePayload, error) {
+	var p resumePayload
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 {
+		return p, errBadToken
+	}
+	enc := base64.RawURLEncoding
+	body, err := enc.DecodeString(s[:dot])
+	if err != nil {
+		return p, errBadToken
+	}
+	sig, err := enc.DecodeString(s[dot+1:])
+	if err != nil {
+		return p, errBadToken
+	}
+	if !hmac.Equal(sig, tc.sign(body)) {
+		return p, errBadToken
+	}
+	if err := json.Unmarshal(body, &p); err != nil || p.V != resumeTokenVersion {
+		return p, errBadToken
+	}
+	return p, nil
+}

@@ -38,6 +38,25 @@ type ServerConfig struct {
 	RowLimit int
 	// PlanCacheSize bounds the canonical-form plan cache (LRU entries).
 	PlanCacheSize int
+	// ResumeTokenEvery controls resumable streaming: every Nth level-1
+	// checkpoint is surfaced in the NDJSON stream as a {"resume_token"}
+	// record a client can POST back (field "resume_token") to continue a
+	// broken stream from the last completed window. Default 1 (every
+	// checkpoint); negative suppresses the in-stream records (a token is
+	// still attached to truncation trailers and error lines).
+	ResumeTokenEvery int
+	// Breaker tunes the per-pool circuit breaker. Run outcomes feed a
+	// sliding window; past BreakerShedRatio of faults new runs shed their
+	// prefetch budget, past BreakerOpenRatio the service rejects fast with
+	// 429 + Retry-After until a half-open probe succeeds.
+	BreakerWindow     int           // outcomes remembered (default 8)
+	BreakerMinSamples int           // outcomes before ratios apply (default 4)
+	BreakerShedRatio  float64       // degraded-mode threshold (default 0.25)
+	BreakerOpenRatio  float64       // reject-fast threshold (default 0.5)
+	BreakerCooldown   time.Duration // open -> half-open delay (default 1s)
+	// BreakerPinWait, when positive, also counts a successful run whose
+	// buffer pin-wait exceeded this duration as a fault (pressure signal).
+	BreakerPinWait time.Duration
 	// Engine is the per-engine template. Buffer sizing is reinterpreted as
 	// the global budget; Threads defaults to GOMAXPROCS divided across the
 	// pool. MetricsAddr, TraceWriter and progress options are ignored here —
@@ -65,12 +84,19 @@ type Server struct {
 // listener: call Listen, or mount Handler on a server of your own.
 func (d *DB) NewServer(cfg ServerConfig) (*Server, error) {
 	srv, err := server.New(d.db, server.Config{
-		Engines:       cfg.Engines,
-		QueueDepth:    cfg.QueueDepth,
-		QueueWait:     cfg.QueueWait,
-		RowLimit:      cfg.RowLimit,
-		PlanCacheSize: cfg.PlanCacheSize,
-		Engine:        cfg.Engine.coreOptions(),
+		Engines:           cfg.Engines,
+		QueueDepth:        cfg.QueueDepth,
+		QueueWait:         cfg.QueueWait,
+		RowLimit:          cfg.RowLimit,
+		PlanCacheSize:     cfg.PlanCacheSize,
+		ResumeTokenEvery:  cfg.ResumeTokenEvery,
+		BreakerWindow:     cfg.BreakerWindow,
+		BreakerMinSamples: cfg.BreakerMinSamples,
+		BreakerShedRatio:  cfg.BreakerShedRatio,
+		BreakerOpenRatio:  cfg.BreakerOpenRatio,
+		BreakerCooldown:   cfg.BreakerCooldown,
+		BreakerPinWait:    cfg.BreakerPinWait,
+		Engine:            cfg.Engine.coreOptions(),
 	})
 	if err != nil {
 		return nil, err
