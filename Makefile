@@ -1,9 +1,16 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench bench-book bench-book-check smoke-serve soak clean
+# Build identity, stamped into the binary (dualsim -version, GET /stats,
+# the dualsim_build_info gauge). Override VERSION for releases.
+VERSION ?= dev
+COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null)
+LDFLAGS := -X dualsim/internal/buildinfo.Version=$(VERSION) \
+           -X dualsim/internal/buildinfo.Commit=$(COMMIT)
+
+.PHONY: build test race vet fmt lint check bench bench-book bench-book-check metrics-doc metrics-doc-check smoke-serve soak clean
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags "$(LDFLAGS)" ./...
 
 test:
 	$(GO) test ./...
@@ -19,9 +26,21 @@ fmt:
 
 # lint runs vet plus the in-repo godoc linter (a stdlib stand-in for
 # revive's `exported` rule), gated to the packages whose exported surface
-# doubles as the paper-concept glossary.
-lint: vet
+# doubles as the paper-concept glossary, and the metrics-doc staleness
+# gate (every registered metric must be documented in docs/METRICS.md).
+lint: vet metrics-doc-check
 	$(GO) run ./cmd/lintdoc ./internal/graph ./internal/core ./internal/buffer
+
+# metrics-doc regenerates docs/METRICS.md from the live metric registry
+# (every counter/gauge/histogram the server registers, plus the paper
+# mapping). Commit the result whenever metrics change.
+metrics-doc:
+	$(GO) run ./cmd/metricsdoc -write
+
+# metrics-doc-check fails when a registered metric is missing from (or
+# stale in) docs/METRICS.md.
+metrics-doc-check:
+	$(GO) run ./cmd/metricsdoc -check
 
 # check is the full pre-commit gate: static analysis plus the race-enabled
 # test suite (the robustness tests exercise concurrent cancellation paths

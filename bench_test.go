@@ -312,6 +312,14 @@ func BenchmarkWindowEnum(b *testing.B) {
 	b.Run("stealing-only", func(b *testing.B) {
 		run(b, core.Options{LinearOnlyIntersect: true})
 	})
+	// Attribution overhead: the full default engine with per-query cost
+	// attribution on (every hot-path counter also lands in an obs.Scope).
+	// The delta against "adaptive" is the price of observability; the
+	// attribution-off price is one nil check per increment site and is
+	// bounded at <=2% by the acceptance criteria.
+	b.Run("adaptive-attributed", func(b *testing.B) {
+		run(b, core.Options{Profile: true})
+	})
 
 	// I/O-bound variants: HDD-like simulated latency and a buffer far
 	// smaller than the database, so every run churns windows and the

@@ -5,11 +5,13 @@
 //
 //	dualsim build  -edges edges.txt -db graph.db [-pagesize 4096]
 //	dualsim run    -db graph.db -q q1 [-threads 4] [-buffer 0.15] [-timeout 30s] [-print]
-//	               [-json] [-metrics-addr :8080] [-trace events.jsonl] [-progress 1s]
+//	               [-json] [-profile] [-metrics-addr :8080] [-trace events.jsonl] [-progress 1s]
 //	dualsim serve  -db graph.db -addr :8372 [-engines 4] [-queue 16] [-row-limit 100000]
+//	               [-trace spans.jsonl] [-slow-query 500ms]
 //	dualsim stats  -db graph.db
 //	dualsim verify -db graph.db
 //	dualsim compare -edges edges.txt -q q4    # DUALSIM vs TTJ vs PSgL
+//	dualsim -version
 //
 // Queries are q1 (triangle), q2 (square), q3 (chordal square), q4
 // (4-clique), q5 (house), or an explicit edge list like "0-1,1-2,0-2".
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"dualsim"
+	"dualsim/internal/buildinfo"
 )
 
 // Exit codes beyond the conventional 0/1/2.
@@ -63,6 +66,9 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
+		return
+	case "-version", "--version", "version":
+		fmt.Println("dualsim " + buildinfo.String())
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "dualsim: unknown command %q\n\n", os.Args[1])
@@ -107,9 +113,11 @@ func usageTo(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   dualsim build  -edges <edges.txt> -db <graph.db> [-pagesize N]
   dualsim run    -db <graph.db> -q <q1..q5|edge list> [-threads N] [-buffer F] [-frames N] [-prefetch N] [-timeout D]
-                 [-retries N] [-print] [-json] [-metrics-addr :8080] [-trace events.jsonl] [-progress 1s]
+                 [-retries N] [-print] [-json] [-profile] [-metrics-addr :8080] [-trace events.jsonl] [-progress 1s]
   dualsim serve  -db <graph.db> [-addr :8372] [-engines N] [-queue N] [-queue-wait D] [-row-limit N]
                  [-plan-cache N] [-buffer F] [-frames N] [-prefetch N] [-threads N] [-drain-timeout D]
+                 [-trace spans.jsonl] [-slow-query D] [-slowlog-size N] [-slowlog-top N]
+  dualsim -version
   dualsim stats  -db <graph.db>
   dualsim verify -db <graph.db>
   dualsim compare -edges <edges.txt> -q <query> [-workers N] [-mem MiB]
@@ -152,6 +160,7 @@ func cmdQuery(args []string) error {
 	retries := fs.Int("retries", 0, "retry transient read failures up to N times (0 = no retry layer)")
 	windowRetries := fs.Int("window-retries", 0, "reload a window up to N times when a transient fault outlives -retries (0 = off)")
 	print := fs.Bool("print", false, "print each embedding")
+	profile := fs.Bool("profile", false, "attribute costs to the run and print a per-query cost profile")
 	jsonOut := fs.Bool("json", false, "emit the result and metrics snapshot as one JSON object on stdout")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	traceFile := fs.String("trace", "", "write a JSONL window/stage trace to this file")
@@ -177,6 +186,7 @@ func cmdQuery(args []string) error {
 		Timeout:          *timeout,
 		WindowRetries:    *windowRetries,
 		MetricsAddr:      *metricsAddr,
+		Profile:          *profile,
 		ProgressInterval: *progress,
 	}
 	if *retries > 0 {
@@ -230,6 +240,10 @@ func cmdQuery(args []string) error {
 	if res.WindowRetries > 0 {
 		fmt.Printf("recovered from transient faults via %d window retries\n", res.WindowRetries)
 	}
+	if res.Profile != nil {
+		fmt.Println("--- cost profile ---")
+		res.Profile.WriteReport(os.Stdout)
+	}
 	return nil
 }
 
@@ -253,6 +267,10 @@ func cmdServe(args []string) error {
 	windowRetries := fs.Int("window-retries", 0, "reload a window up to N times when a transient fault outlives -retries (0 = off)")
 	resumeEvery := fs.Int("resume-every", 0, "emit a resume_token record every Nth checkpoint in embeddings streams (0 = every checkpoint, <0 = suppress)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "circuit-breaker open -> half-open delay (0 = 1s)")
+	traceFile := fs.String("trace", "", "write the service-wide JSONL span trace to this file (flushed on drain)")
+	slowQuery := fs.Duration("slow-query", 0, "slow-query log threshold (0 = 500ms, negative = record all)")
+	slowlogSize := fs.Int("slowlog-size", 0, "slow-query ring entries (0 = 64)")
+	slowlogTop := fs.Int("slowlog-top", 0, "heaviest-queries-by-pages leaderboard size (0 = 8)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to let in-flight queries finish after SIGTERM")
 	fs.Parse(args)
 	if *dbPath == "" {
@@ -273,16 +291,28 @@ func cmdServe(args []string) error {
 	if *retries > 0 {
 		engOpts.Retry = &dualsim.RetryPolicy{MaxRetries: *retries}
 	}
-	srv, err := db.NewServer(dualsim.ServerConfig{
-		Engines:          *engines,
-		QueueDepth:       *queue,
-		QueueWait:        *queueWait,
-		RowLimit:         *rowLimit,
-		PlanCacheSize:    *planCache,
-		ResumeTokenEvery: *resumeEvery,
-		BreakerCooldown:  *breakerCooldown,
-		Engine:           engOpts,
-	})
+	cfg := dualsim.ServerConfig{
+		Engines:            *engines,
+		QueueDepth:         *queue,
+		QueueWait:          *queueWait,
+		RowLimit:           *rowLimit,
+		PlanCacheSize:      *planCache,
+		ResumeTokenEvery:   *resumeEvery,
+		BreakerCooldown:    *breakerCooldown,
+		SlowQueryThreshold: *slowQuery,
+		SlowLogSize:        *slowlogSize,
+		SlowLogTopK:        *slowlogTop,
+		Engine:             engOpts,
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("serve: creating trace file: %w", err)
+		}
+		defer f.Close()
+		cfg.TraceWriter = f
+	}
+	srv, err := db.NewServer(cfg)
 	if err != nil {
 		return err
 	}

@@ -62,6 +62,11 @@ type (
 	// written to Options.TraceWriter. See its field docs for the event
 	// vocabulary (run_start, window_open, ..., run_end).
 	TraceEvent = obs.Event
+	// CostProfile is the per-query attributed cost breakdown produced when
+	// Options.Profile is set (Result.Profile) or a server request asks for
+	// POST /query?profile=1: time split (queue/prep/exec/io-wait/pin-wait),
+	// pages read, window and prefetch behaviour, kernel mix, resilience.
+	CostProfile = obs.CostProfile
 )
 
 // IsTransient reports whether err is a read failure worth retrying.
@@ -309,8 +314,14 @@ type Options struct {
 	MetricsAddr string
 	// TraceWriter, when non-nil, receives a JSONL trace of window/stage
 	// lifecycle events (one TraceEvent per line). Tracing is off — and
-	// effectively free — when nil.
+	// effectively free — when nil. The engine buffers and flushes the
+	// trace on Close, so the final events of the last run are never lost.
 	TraceWriter io.Writer
+	// Profile, when true, attributes every cost counter (pages read, I/O
+	// wait, kernel mix, ...) to each run and returns the breakdown as
+	// Result.Profile. Off by default; the attribution path costs one
+	// pointer comparison per counter when disabled.
+	Profile bool
 	// ProgressInterval, when positive, prints a progress line (windows
 	// done/estimated, pages read, embeddings) every interval during a run,
 	// to ProgressWriter (default os.Stderr).
@@ -350,6 +361,7 @@ func (o Options) coreOptions() core.Options {
 		WindowRetryBackoff:    o.WindowRetryBackoff,
 		WindowRetryMaxBackoff: o.WindowRetryMaxBackoff,
 		Tracer:                tracer,
+		Profile:               o.Profile,
 		ProgressInterval:      o.ProgressInterval,
 		ProgressWriter:        pw,
 	}
@@ -383,6 +395,9 @@ type Result struct {
 	// Metrics is a snapshot of the engine's metric registry at the end of
 	// the run; counters are cumulative across runs of one engine.
 	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
+	// Profile is the run's attributed cost breakdown, present when
+	// Options.Profile was set. Unlike Metrics it covers THIS run only.
+	Profile *CostProfile `json:"profile,omitempty"`
 }
 
 // Engine enumerates subgraphs of one database.
@@ -474,6 +489,7 @@ func publicResult(res *core.Result) *Result {
 		VGroups:       len(res.Plan.Groups),
 		WindowRetries: res.WindowRetries,
 		Metrics:       res.Metrics,
+		Profile:       res.Profile,
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dualsim/internal/obs"
 	"dualsim/internal/storage"
 )
 
@@ -121,6 +122,13 @@ type Pool struct {
 	runPages  atomic.Uint64
 	lastRead  atomic.Int64 // previous physical pid, for seek simulation
 
+	// attr is the active query's attribution scope, installed by the
+	// engine for the duration of a run (the engine runs one query at a
+	// time and owns this pool exclusively, so a single slot suffices).
+	// Stat increments mirror into it when non-nil; the disabled path
+	// costs one atomic pointer load per pool operation.
+	attr atomic.Pointer[obs.Scope]
+
 	ioq    chan ioRequest
 	ioWG   sync.WaitGroup
 	closed atomic.Bool
@@ -182,6 +190,13 @@ func (p *Pool) Close() {
 
 // Capacity returns the frame count.
 func (p *Pool) Capacity() int { return p.opts.Frames }
+
+// SetAttribution installs (or with nil clears) the query attribution
+// scope that pin/read stats mirror into. The engine calls it at run
+// start/end; because one run owns the pool at a time and every physical
+// read settles before the run returns, attributed counts partition the
+// global ones exactly.
+func (p *Pool) SetAttribution(sc *obs.Scope) { p.attr.Store(sc) }
 
 // Stats returns a snapshot of the pool counters. Every counter is an
 // atomic, so snapshots are race-free against concurrent pinners and I/O
@@ -247,7 +262,11 @@ func (p *Pool) PinContext(ctx context.Context, pid storage.PageID) (*storage.Pag
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sc := p.attr.Load()
 	p.logical.Add(1)
+	if sc != nil {
+		sc.LogicalReads.Add(1)
+	}
 	p.mu.Lock()
 	if idx, ok := p.table[pid]; ok {
 		f := &p.frames[idx]
@@ -261,7 +280,11 @@ func (p *Pool) PinContext(ctx context.Context, pid storage.PageID) (*storage.Pag
 		default:
 			waitStart := time.Now()
 			<-ready
-			p.pinWait.Add(uint64(time.Since(waitStart)))
+			d := uint64(time.Since(waitStart))
+			p.pinWait.Add(d)
+			if sc != nil {
+				sc.PinWaitNanos.Add(d)
+			}
 		}
 		if f.err != nil {
 			err := f.err
@@ -269,6 +292,9 @@ func (p *Pool) PinContext(ctx context.Context, pid storage.PageID) (*storage.Pag
 			return nil, err
 		}
 		p.hits.Add(1)
+		if sc != nil {
+			sc.BufferHits.Add(1)
+		}
 		return f.page, nil
 	}
 	idx, err := p.acquireFrameLocked()
@@ -295,6 +321,9 @@ func (p *Pool) PinContext(ctx context.Context, pid storage.PageID) (*storage.Pag
 			f.page, loadErr = storage.ParsePage(f.buf)
 		}
 		p.physical.Add(1)
+		if sc != nil {
+			sc.PagesRead.Add(1)
+		}
 	}
 	f.err = loadErr
 	close(f.ready)
@@ -522,6 +551,7 @@ type runSlot struct {
 func (p *Pool) serveRun(req ioRequest) {
 	slots := make([]runSlot, req.n)
 	ctxErr := req.ctx.Err()
+	sc := p.attr.Load()
 	p.mu.Lock()
 	for i := range slots {
 		pid := req.pid + storage.PageID(i)
@@ -530,6 +560,9 @@ func (p *Pool) serveRun(req ioRequest) {
 			continue
 		}
 		p.logical.Add(1)
+		if sc != nil {
+			sc.LogicalReads.Add(1)
+		}
 		if idx, ok := p.table[pid]; ok {
 			p.frames[idx].pins++
 			slots[i] = runSlot{idx: idx, hit: true}
@@ -580,10 +613,17 @@ func (p *Pool) serveRun(req ioRequest) {
 				default:
 					waitStart := time.Now()
 					<-f.ready
-					p.pinWait.Add(uint64(time.Since(waitStart)))
+					d := uint64(time.Since(waitStart))
+					p.pinWait.Add(d)
+					if sc != nil {
+						sc.PinWaitNanos.Add(d)
+					}
 				}
 				if f.err == nil {
 					p.hits.Add(1)
+					if sc != nil {
+						sc.BufferHits.Add(1)
+					}
 				}
 			}
 			page, err = f.page, f.err
@@ -608,9 +648,14 @@ func (p *Pool) serveRun(req ioRequest) {
 // and its ready channel closed.
 func (p *Pool) readStretch(ctx context.Context, first storage.PageID, slots []runSlot) {
 	n := len(slots)
+	sc := p.attr.Load()
 	if n > 1 {
 		p.runs.Add(1)
 		p.runPages.Add(uint64(n))
+		if sc != nil {
+			sc.CoalescedRuns.Add(1)
+			sc.CoalescedPages.Add(uint64(n))
+		}
 	}
 	err := p.simulateRunLatency(ctx, first, n)
 	if err == nil && n > 1 && p.runReader != nil {
@@ -624,6 +669,9 @@ func (p *Pool) readStretch(ctx context.Context, first storage.PageID, slots []ru
 				f.page, f.err = storage.ParsePage(buf[i*ps : (i+1)*ps])
 				p.physical.Add(1)
 				close(f.ready)
+			}
+			if sc != nil {
+				sc.PagesRead.Add(uint64(n))
 			}
 			p.putRunBuf(buf)
 			return
@@ -646,6 +694,9 @@ func (p *Pool) readStretch(ctx context.Context, first storage.PageID, slots []ru
 		}
 		f.err = rerr
 		p.physical.Add(1)
+		if sc != nil {
+			sc.PagesRead.Add(1)
+		}
 		close(f.ready)
 	}
 }

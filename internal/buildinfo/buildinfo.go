@@ -1,0 +1,62 @@
+// Package buildinfo carries the binary's version and commit, stamped at
+// link time via
+//
+//	go build -ldflags "-X dualsim/internal/buildinfo.Version=v7 \
+//	                   -X dualsim/internal/buildinfo.Commit=abc1234"
+//
+// (the Makefile does this), with a debug.ReadBuildInfo fallback for plain
+// `go build` so the commit is still best-effort populated from VCS
+// stamping. It is surfaced by `dualsim -version`, GET /stats, and the
+// dualsim_build_info Prometheus gauge.
+package buildinfo
+
+import (
+	"runtime/debug"
+
+	"dualsim/internal/obs"
+)
+
+// Version is the release version ("dev" unless stamped by -ldflags).
+var Version = "dev"
+
+// Commit is the VCS commit hash ("" unless stamped or VCS-derived).
+var Commit = ""
+
+// Info returns the effective version and commit, consulting the module
+// build info when the linker did not stamp a commit.
+func Info() (version, commit string) {
+	version, commit = Version, Commit
+	if commit == "" {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					commit = s.Value
+					break
+				}
+			}
+		}
+	}
+	if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	return version, commit
+}
+
+// String renders "version (commit)" for -version output.
+func String() string {
+	v, c := Info()
+	if c == "" {
+		return v
+	}
+	return v + " (" + c + ")"
+}
+
+// Register exposes the constant dualsim_build_info{version,commit} gauge
+// (value 1, Prometheus build-info convention) on reg.
+func Register(reg *obs.Registry) {
+	v, c := Info()
+	reg.GaugeFuncLabeled("dualsim_build_info",
+		"Build metadata; constant 1 with version/commit labels.",
+		[]obs.Label{{Key: "version", Value: v}, {Key: "commit", Value: c}},
+		func() float64 { return 1 })
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"dualsim/internal/graph"
+	"dualsim/internal/obs"
 	"dualsim/internal/plan"
 )
 
@@ -69,6 +70,12 @@ type RunSpec struct {
 	// layer's circuit breaker sheds under fault pressure — speculation
 	// multiplies reads against a device that is already failing them.
 	DisablePrefetch bool
+	// Scope, when non-nil, attributes this run's cost (pages read, I/O
+	// wait, kernel mix, ...) to one query: every hot-path counter mirrors
+	// into it alongside the global registry, trace events carry its trace
+	// ID and span hierarchy, and Result.Profile reports the rendered
+	// total. The serving layer creates one per request at HTTP admission.
+	Scope *obs.Scope
 }
 
 // ResumeContext replays a run from cp: enumeration restarts at the

@@ -104,6 +104,13 @@ type Options struct {
 	// metrics into (share one across engines to aggregate); when nil the
 	// engine creates a private registry, retrievable with Registry().
 	Metrics *obs.Registry
+	// Profile attributes every run into a per-query obs.Scope and returns
+	// the rendered cost profile in Result.Profile. Runs handed an explicit
+	// RunSpec.Scope (the server's per-request scopes) are attributed
+	// regardless; this flag covers direct Engine users and the CLI's
+	// `run -profile`. Off, attribution costs one nil check per counter
+	// site.
+	Profile bool
 	// Tracer, when non-nil, receives window/stage lifecycle events (and
 	// retry-layer recovery events when Retry is set). Nil disables tracing
 	// at the cost of one pointer comparison per emit site.
@@ -157,6 +164,10 @@ type Result struct {
 	// Metrics is a snapshot of the engine's metric registry at the end of
 	// the run. Counters are cumulative across runs of one engine.
 	Metrics *obs.Snapshot
+	// Profile is this run's attributed cost profile — the per-query slice
+	// of the global counters plus the time breakdown. Nil unless the run
+	// carried an attribution scope (RunSpec.Scope or Options.Profile).
+	Profile *obs.CostProfile
 }
 
 // Database is the storage interface the engine consumes. *storage.DB
@@ -273,8 +284,15 @@ func (e *Engine) RetryStats() storage.RetryStats {
 	return e.retry.Stats()
 }
 
-// Close releases the engine's buffer pool.
-func (e *Engine) Close() { e.pool.Close() }
+// Close releases the engine's buffer pool and flushes the tracer (if the
+// configured Tracer buffers, e.g. obs.JSONLTracer), so the final spans of
+// the engine's last run reach their sink.
+func (e *Engine) Close() {
+	e.pool.Close()
+	if f, ok := e.tracer.(obs.Flusher); ok {
+		_ = f.Flush()
+	}
+}
 
 // DB returns the underlying database.
 func (e *Engine) DB() Database { return e.db }
@@ -406,11 +424,23 @@ func (e *Engine) RunSpecContext(ctx context.Context, spec RunSpec) (*Result, err
 	if err := e.ensureSpanBudget(alloc); err != nil {
 		return nil, err
 	}
+	// Attribution: an explicit per-request scope from the server wins;
+	// Options.Profile covers direct engine users. The scope is installed
+	// on the buffer pool for the run — the engine owns the pool and runs
+	// one query at a time, and all reads (foreground and prefetch) settle
+	// before the run returns, so attributed pages partition the global
+	// count exactly.
+	scope := spec.Scope
+	if scope == nil && e.opts.Profile {
+		scope = obs.NewScope(obs.NewTraceID())
+	}
+	if scope != nil {
+		e.pool.SetAttribution(scope)
+		defer e.pool.SetAttribution(nil)
+	}
+
 	statsBefore := e.pool.Stats()
 	e.em.runs.Inc()
-	if e.tracer != nil {
-		e.tracer.Emit(obs.Event{Event: "run_start", Levels: p.K, Frames: e.frames})
-	}
 
 	// Carve the prefetch budget out of each level's allocation: the window
 	// iterator chops against winBudget while the carved-off frames hold the
@@ -464,8 +494,18 @@ func (e *Engine) RunSpecContext(ctx context.Context, spec RunSpec) (*Result, err
 		onCheckpoint: spec.OnCheckpoint,
 		tracer:       e.tracer,
 		em:           e.em,
+		scope:        scope,
 		adaptive:     !e.opts.LinearOnlyIntersect,
 	}
+	r.levelSpan = make([]uint64, p.K)
+	r.winSpan = make([]uint64, p.K)
+	r.querySpan = r.span()
+	var rootSpan uint64
+	if scope != nil {
+		rootSpan = scope.RootSpan()
+	}
+	r.emit(obs.Event{Event: "run_start", Levels: p.K, Frames: e.frames,
+		Span: r.querySpan, Parent: rootSpan})
 	if cp := spec.Resume; cp != nil {
 		// Start from the frontier: totals from the checkpoint, the level-1
 		// iterator from its cursor, window ordinals continuing where the
@@ -520,8 +560,14 @@ func (e *Engine) RunSpecContext(ctx context.Context, spec RunSpec) (*Result, err
 
 	statsAfter := e.pool.Stats()
 	total := r.internalCount.Load() + r.externalCount.Load()
-	if e.tracer != nil {
-		e.tracer.Emit(obs.Event{Event: "run_end", Count: total, DurUS: time.Since(startExec).Microseconds()})
+	r.emit(obs.Event{Event: "run_end", Count: total, DurUS: time.Since(startExec).Microseconds(),
+		Span: r.querySpan, Parent: rootSpan})
+	var profile *obs.CostProfile
+	if scope != nil {
+		pr := scope.Profile()
+		pr.PrepNS = p.PrepTime.Nanoseconds()
+		pr.ExecNS = time.Since(startExec).Nanoseconds()
+		profile = &pr
 	}
 	return &Result{
 		Count:    total,
@@ -544,6 +590,7 @@ func (e *Engine) RunSpecContext(ctx context.Context, spec RunSpec) (*Result, err
 		IOWait:          r.ioWait,
 		WindowRetries:   r.windowRetries,
 		Metrics:         e.reg.Snapshot(),
+		Profile:         profile,
 	}, nil
 }
 
@@ -616,6 +663,18 @@ type run struct {
 	workers *workerPool
 	tracer  obs.Tracer     // nil when tracing is disabled
 	em      *engineMetrics // never nil
+	// scope, when non-nil, is the query attribution sink every counter
+	// site mirrors into (see obs.Scope); nil means attribution is off and
+	// each site pays one pointer comparison.
+	scope *obs.Scope
+	// querySpan is the root span ID of this run's trace (0 without scope).
+	querySpan uint64
+	// levelSpan[l] / winSpan[l] are the span IDs of the open level and
+	// window spans at level l, maintained by the orchestrator only:
+	// level l's span parents on level l-1's current window span, windows
+	// parent on their level's span.
+	levelSpan []uint64
+	winSpan   []uint64
 
 	// adaptive selects the arena-backed intersection kernels; false
 	// reproduces the seed engine's probe-per-candidate matching
@@ -649,6 +708,28 @@ type run struct {
 	onCheckpoint func(Checkpoint)
 
 	onMatch func([]graph.VertexID)
+}
+
+// emit forwards e to the run's tracer, stamping the scope's trace ID so
+// every event of an attributed run carries its query identity. Span IDs
+// are filled by the call sites that mint them; unattributed runs emit the
+// PR 2 event shapes unchanged.
+func (r *run) emit(e obs.Event) {
+	if r.tracer == nil {
+		return
+	}
+	if r.scope != nil {
+		e.TraceID = r.scope.TraceID()
+	}
+	r.tracer.Emit(e)
+}
+
+// span mints a child span ID when the run is attributed; 0 otherwise.
+func (r *run) span() uint64 {
+	if r.scope == nil {
+		return 0
+	}
+	return r.scope.NextSpanID()
 }
 
 type runErrBox struct{ err error }

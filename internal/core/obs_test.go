@@ -39,10 +39,11 @@ func TestTracerWindowLifecycle(t *testing.T) {
 	g := randomGraph(rng, 200, 1400)
 	db := buildDB(t, g, 128)
 	var buf bytes.Buffer
+	tracer := obs.NewJSONLTracer(&buf)
 	e, err := NewEngine(db, Options{
 		Threads:      2,
 		BufferFrames: 14,
-		Tracer:       obs.NewJSONLTracer(&buf),
+		Tracer:       tracer,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -56,6 +57,11 @@ func TestTracerWindowLifecycle(t *testing.T) {
 		t.Fatalf("want a multi-window run for this test, got %d level-1 windows", res.Level1Windows)
 	}
 
+	// The tracer buffers; the engine flushes it on Close, and readers that
+	// want events before then flush explicitly.
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	events := parseTrace(t, &buf)
 	if len(events) == 0 {
 		t.Fatal("empty trace")

@@ -69,6 +69,21 @@ func (r *run) processLevel(l int) error {
 	// cancellation, level exhausted): leftover pins must be released before
 	// the caller unloads outer windows or the run returns.
 	defer r.settlePrefetch(l)
+	// Attributed runs trace each processLevel invocation as a level span
+	// nested under the enclosing window (or the query span at level 1).
+	if lvlSpan := r.span(); lvlSpan != 0 {
+		parent := r.querySpan
+		if l > 0 {
+			parent = r.winSpan[l-1]
+		}
+		r.levelSpan[l] = lvlSpan
+		levelStart := time.Now()
+		r.emit(obs.Event{Event: "level_start", Level: l + 1, Span: lvlSpan, Parent: parent})
+		defer func() {
+			r.emit(obs.Event{Event: "level_end", Level: l + 1, Span: lvlSpan, Parent: parent,
+				DurUS: time.Since(levelStart).Microseconds()})
+		}()
+	}
 	for iter.next() {
 		// Cancellation gate: every window iteration at every level checks
 		// the run's context, so a cancel stops the traversal within one
@@ -83,12 +98,14 @@ func (r *run) processLevel(l int) error {
 		verts := iter.windowVerts()
 		ord := r.windowsPer[l] + 1 // 1-based window ordinal at this level
 		windowStart := time.Now()
+		r.winSpan[l] = r.span()
 		if r.tracer != nil {
-			ev := obs.Event{Event: "window_open", Level: l + 1, Window: ord, Verts: len(verts)}
+			ev := obs.Event{Event: "window_open", Level: l + 1, Window: ord, Verts: len(verts),
+				Span: r.winSpan[l], Parent: r.levelSpan[l]}
 			if len(verts) > 0 {
 				ev.Lo, ev.Hi = uint64(verts[0]), uint64(verts[len(verts)-1])
 			}
-			r.tracer.Emit(ev)
+			r.emit(ev)
 		}
 		lw, err := r.loadWindowWithRetry(l, verts, l == r.k-1 && r.k > 1, ord)
 		if err != nil {
@@ -106,6 +123,12 @@ func (r *run) processLevel(l int) error {
 		if l == 0 {
 			r.em.windowsLevel1.Inc()
 		}
+		if r.scope != nil {
+			r.scope.Windows.Add(1)
+			if l == 0 {
+				r.scope.WindowsLevel1.Add(1)
+			}
+		}
 
 		if l == r.k-1 {
 			if r.k > 1 {
@@ -115,8 +138,9 @@ func (r *run) processLevel(l int) error {
 				drainStart := time.Now()
 				r.workers.drain()
 				if r.tracer != nil {
-					r.tracer.Emit(obs.Event{Event: "external_enum", Level: l + 1, Window: ord,
-						Verts: len(verts), DurUS: time.Since(drainStart).Microseconds()})
+					r.emit(obs.Event{Event: "external_enum", Level: l + 1, Window: ord,
+						Verts: len(verts), DurUS: time.Since(drainStart).Microseconds(),
+						Span: r.winSpan[l]})
 				}
 			} else {
 				// Single-level plans: the whole window is the internal area.
@@ -147,8 +171,9 @@ func (r *run) processLevel(l int) error {
 		}
 		r.unloadWindow(l, lw)
 		if r.tracer != nil {
-			r.tracer.Emit(obs.Event{Event: "window_close", Level: l + 1, Window: ord,
-				DurUS: time.Since(windowStart).Microseconds()})
+			r.emit(obs.Event{Event: "window_close", Level: l + 1, Window: ord,
+				DurUS: time.Since(windowStart).Microseconds(),
+				Span:  r.winSpan[l], Parent: r.levelSpan[l]})
 		}
 		if err := r.firstErr(); err != nil {
 			return err
@@ -172,10 +197,16 @@ func (r *run) settleWindowCounts(lw *levelWindow) {
 	if n := lw.internal.Swap(0); n > 0 {
 		r.internalCount.Add(n)
 		r.em.embInternal.Add(n)
+		if r.scope != nil {
+			r.scope.EmbInternal.Add(n)
+		}
 	}
 	if n := lw.external.Swap(0); n > 0 {
 		r.externalCount.Add(n)
 		r.em.embExternal.Add(n)
+		if r.scope != nil {
+			r.scope.EmbExternal.Add(n)
+		}
 	}
 }
 
@@ -187,6 +218,9 @@ func (r *run) emitCheckpoint(cursor int) {
 		return
 	}
 	r.em.checkpoints.Inc()
+	if r.scope != nil {
+		r.scope.Checkpoints.Add(1)
+	}
 	r.onCheckpoint(Checkpoint{
 		K:        r.k,
 		Cursor:   cursor,
@@ -391,6 +425,9 @@ func (r *run) startPrefetch(l int, it *windowIterator, lw *levelWindow) {
 	}
 	n := pf.Start(r.ctx, pids)
 	r.em.prefetchIssued.Add(uint64(n))
+	if r.scope != nil && n > 0 {
+		r.scope.PrefetchIssued.Add(uint64(n))
+	}
 }
 
 // settlePrefetch cancels and releases whatever the level's prefetcher still
@@ -402,6 +439,9 @@ func (r *run) settlePrefetch(l int) {
 	_, wasted := r.prefetch[l].Collect(nil)
 	if wasted > 0 {
 		r.em.prefetchWasted.Add(uint64(wasted))
+		if r.scope != nil {
+			r.scope.PrefetchWasted.Add(uint64(wasted))
+		}
 	}
 }
 
@@ -440,8 +480,12 @@ func (r *run) loadWindowWithRetry(l int, verts []graph.VertexID, lastLevel bool,
 		}
 		r.windowRetries++
 		r.em.windowRetries.Inc()
+		if r.scope != nil {
+			r.scope.WindowRetries.Add(1)
+		}
 		if r.tracer != nil {
-			r.tracer.Emit(obs.Event{Event: "window_retry", Level: l + 1, Window: ord, Attempt: attempt + 1})
+			r.emit(obs.Event{Event: "window_retry", Level: l + 1, Window: ord, Attempt: attempt + 1,
+				Span: r.winSpan[l]})
 		}
 		if !r.sleepWindowBackoff(attempt) {
 			r.fail(r.ctx.Err())
@@ -521,9 +565,15 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 		useful, wasted := r.prefetch[l].Collect(func(pid storage.PageID) bool { return seen[pid] })
 		if useful > 0 {
 			r.em.prefetchUseful.Add(uint64(useful))
+			if r.scope != nil {
+				r.scope.PrefetchUseful.Add(uint64(useful))
+			}
 		}
 		if wasted > 0 {
 			r.em.prefetchWasted.Add(uint64(wasted))
+			if r.scope != nil {
+				r.scope.PrefetchWasted.Add(uint64(wasted))
+			}
 		}
 	}
 
@@ -574,11 +624,14 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 	wait := time.Since(waitStart)
 	r.ioWait += wait
 	r.em.ioWaitNanos.Add(uint64(wait.Nanoseconds()))
+	if r.scope != nil {
+		r.scope.IOWaitNanos.Add(uint64(wait.Nanoseconds()))
+	}
 	r.em.windowLoadUS.Observe(wait.Microseconds())
 	r.em.windowPages.Observe(int64(len(pages)))
 	if r.tracer != nil {
-		r.tracer.Emit(obs.Event{Event: "window_pinned", Level: l + 1, Window: r.windowsPer[l] + 1,
-			Pages: len(pages), DurUS: wait.Microseconds()})
+		r.emit(obs.Event{Event: "window_pinned", Level: l + 1, Window: r.windowsPer[l] + 1,
+			Pages: len(pages), DurUS: wait.Microseconds(), Span: r.winSpan[l]})
 	}
 	if err := r.firstErr(); err != nil {
 		return lw, err
@@ -710,7 +763,8 @@ func (r *run) dispatchInternal(lw *levelWindow) {
 		for g := range r.p.Groups {
 			verts += len(lw.verts[g])
 		}
-		r.tracer.Emit(obs.Event{Event: "internal_enum", Level: 1, Window: r.windowsPer[0], Verts: verts})
+		r.emit(obs.Event{Event: "internal_enum", Level: 1, Window: r.windowsPer[0], Verts: verts,
+			Span: r.winSpan[0]})
 	}
 	chunksPer := r.e.opts.Threads * 4
 	if !r.e.opts.StaticPartition {

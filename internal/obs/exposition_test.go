@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSanitizeMetricName checks the exposition-format name alphabet is
+// enforced at registration: invalid runes become '_', valid names pass
+// through untouched, and a leading digit is invalid.
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"dualsim_pages_read_total", "dualsim_pages_read_total"},
+		{"a:b_c9", "a:b_c9"},
+		{"", "_"},
+		{"9lives", "_lives"},
+		{"dualsim.pages-read", "dualsim_pages_read"},
+		{"spaß metrics", "spa__metrics"},
+		{"emoji🔥name", "emoji_name"},
+	}
+	for _, c := range cases {
+		if got := SanitizeMetricName(c.in); got != c.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Every output must itself be a valid name (idempotence).
+	valid := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	for _, c := range cases {
+		got := SanitizeMetricName(c.in)
+		if !valid.MatchString(got) {
+			t.Errorf("SanitizeMetricName(%q) = %q is not a valid metric name", c.in, got)
+		}
+		if again := SanitizeMetricName(got); again != got {
+			t.Errorf("SanitizeMetricName not idempotent: %q -> %q -> %q", c.in, got, again)
+		}
+	}
+}
+
+// TestPrometheusEscaping renders a registry whose HELP text and label
+// values carry every character the text format must escape — backslash,
+// double-quote, newline — plus a metric name needing sanitization, and
+// checks the output line by line: no raw newlines inside a sample, escapes
+// present, and HELP/TYPE emitted once per family.
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bad.name", "help with \\backslash and\nnewline").Add(3)
+	r.GaugeFuncLabeled("build_info", "constant",
+		[]Label{{Key: "version", Value: `v"1\2` + "\n3"}, {Key: "weird key", Value: "x"}},
+		func() float64 { return 1 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if !strings.Contains(out, `# HELP bad_name help with \\backslash and\nnewline`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "bad_name 3") {
+		t.Errorf("sanitized counter sample missing:\n%s", out)
+	}
+	if !strings.Contains(out, `build_info{version="v\"1\\2\n3",weird_key="x"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+
+	// Structural pass: every non-comment line must be `series value`, and
+	// any quoted label values must not contain a raw quote or newline.
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^\n]*\})? [^ \n]+$`)
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+
+	// One HELP and one TYPE per family, even with labeled series present.
+	for _, fam := range []string{"bad_name", "build_info"} {
+		if got := strings.Count(out, "# TYPE "+fam+" "); got != 1 {
+			t.Errorf("family %s has %d TYPE lines, want 1", fam, got)
+		}
+	}
+}
+
+// TestGaugeFuncLabeledSeries checks that distinct label sets under one
+// name are distinct series sharing a single HELP/TYPE header.
+func TestGaugeFuncLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFuncLabeled("multi", "h", []Label{{Key: "k", Value: "a"}}, func() float64 { return 1 })
+	r.GaugeFuncLabeled("multi", "h", []Label{{Key: "k", Value: "b"}}, func() float64 { return 2 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `multi{k="a"} 1`) || !strings.Contains(out, `multi{k="b"} 2`) {
+		t.Fatalf("missing series:\n%s", out)
+	}
+	if got := strings.Count(out, "# TYPE multi gauge"); got != 1 {
+		t.Errorf("%d TYPE lines for multi, want 1", got)
+	}
+	// Re-registering the same name+labels replaces the func, not adds.
+	r.GaugeFuncLabeled("multi", "h", []Label{{Key: "k", Value: "a"}}, func() float64 { return 7 })
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `multi{k="a"} 7`) {
+		t.Errorf("re-registration did not replace the series func:\n%s", b.String())
+	}
+}
+
+// TestPrometheusHistogramCumulative feeds a histogram a spread of values
+// and checks the rendered _bucket samples are cumulative and monotone:
+// counts never decrease as `le` grows, the +Inf bucket equals _count, and
+// _sum matches the observed total.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_us", "latencies")
+	var sum int64
+	for _, v := range []int64{0, 1, 1, 2, 3, 7, 8, 100, 1000, 1 << 40} {
+		h.Observe(v)
+		sum += v
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	bucketLine := regexp.MustCompile(`^lat_us_bucket\{le="([^"]+)"\} (\d+)$`)
+	var lastLE, lastCount uint64
+	var infCount uint64
+	buckets := 0
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		m := bucketLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		count, err := strconv.ParseUint(m[2], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket count %q", m[2])
+		}
+		if m[1] == "+Inf" {
+			infCount = count
+			if count < lastCount {
+				t.Errorf("+Inf bucket %d < previous bucket %d", count, lastCount)
+			}
+			continue
+		}
+		le, err := strconv.ParseUint(m[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad le %q", m[1])
+		}
+		if buckets > 0 {
+			if le <= lastLE {
+				t.Errorf("bucket bounds not increasing: %d after %d", le, lastLE)
+			}
+			if count < lastCount {
+				t.Errorf("cumulative counts decreased: le=%d count=%d after %d", le, count, lastCount)
+			}
+		}
+		lastLE, lastCount = le, count
+		buckets++
+	}
+	if buckets == 0 {
+		t.Fatal("no bucket samples rendered")
+	}
+	if infCount != 10 {
+		t.Errorf("+Inf bucket = %d, want 10 (every observation)", infCount)
+	}
+	if !strings.Contains(out, fmt.Sprintf("lat_us_sum %d", sum)) {
+		t.Errorf("missing lat_us_sum %d in:\n%s", sum, out)
+	}
+	if !strings.Contains(out, "lat_us_count 10") {
+		t.Errorf("missing lat_us_count 10 in:\n%s", out)
+	}
+}
+
+// TestConcurrentScrape hammers a registry from writer goroutines
+// (counters, gauges, histograms, and fresh registrations) while scrape
+// goroutines render the exposition format — the production shape of a
+// Prometheus poll racing live queries. Run under -race; correctness here
+// is "no race, no malformed output", not exact values.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_us", "h")
+
+	// Fixed write counts: the writers always complete their full workload
+	// regardless of how the scheduler interleaves them with the scrapes,
+	// so the post-quiescence invariants are deterministic.
+	const writers, perWriter, scrapes = 8, 500, 50
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+				g.Set(int64(j))
+				h.Observe(int64(j % 1000))
+				if j%100 == 0 {
+					// Concurrent registration must not corrupt a scrape.
+					r.Counter(fmt.Sprintf("w%d_total", id), "per-writer").Inc()
+				}
+			}
+		}(i)
+	}
+
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^\n]*\})? -?[0-9][^ \n]*$`)
+	for i := 0; i < scrapes; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		sc := bufio.NewScanner(strings.NewReader(b.String()))
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "#") || line == "" {
+				continue
+			}
+			if !sample.MatchString(line) {
+				t.Fatalf("scrape %d: malformed line %q", i, line)
+			}
+		}
+	}
+	wg.Wait()
+
+	// After the dust settles the invariants must hold exactly.
+	snap := r.Snapshot()
+	if got := snap.Counters["c_total"]; got != writers*perWriter {
+		t.Errorf("counter = %d, want %d", got, writers*perWriter)
+	}
+	hs := snap.Histograms["h_us"]
+	if hs.Count != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", hs.Count, writers*perWriter)
+	}
+	if n := len(hs.Buckets); n > 0 && hs.Buckets[n-1].Count > hs.Count {
+		t.Errorf("last bucket %d exceeds count %d", hs.Buckets[n-1].Count, hs.Count)
+	}
+}

@@ -92,11 +92,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// writePrometheus renders the histogram in the text exposition format.
+// writePrometheus renders the histogram's samples in the text exposition
+// format (the registry writes the HELP/TYPE header).
 func (h *Histogram) writePrometheus(w io.Writer, name string) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-		return err
-	}
 	s := h.Snapshot()
 	for _, b := range s.Buckets {
 		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.UpperBound, b.Count); err != nil {

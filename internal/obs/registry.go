@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -58,10 +59,19 @@ const (
 	kindHistogram
 )
 
+// Label is one constant name/value pair attached to a metric series
+// (e.g. dualsim_build_info{version="...",commit="..."}). Values are
+// escaped at render time per the Prometheus text exposition rules.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
 type metric struct {
-	name string
-	help string
-	kind metricKind
+	name   string
+	help   string
+	kind   metricKind
+	labels []Label // constant labels, empty for most series
 
 	counter     *Counter
 	gauge       *Gauge
@@ -69,6 +79,78 @@ type metric struct {
 	gaugeFunc   func() float64
 	hist        *Histogram
 }
+
+// series renders the metric's sample name including any constant labels.
+func (m *metric) series() string {
+	if len(m.labels) == 0 {
+		return m.name
+	}
+	var b strings.Builder
+	b.WriteString(m.name)
+	b.WriteByte('{')
+	for i, l := range m.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(SanitizeMetricName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SanitizeMetricName maps s onto the Prometheus metric/label name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]*, replacing invalid runes with '_'.
+// Registration sanitizes names so an invalid name can never corrupt the
+// exposition format.
+func SanitizeMetricName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	valid := func(r rune, first bool) bool {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':' {
+			return true
+		}
+		return !first && r >= '0' && r <= '9'
+	}
+	ok := true
+	for i, r := range s {
+		if !valid(r, i == 0) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return s
+	}
+	var b strings.Builder
+	for i, r := range s {
+		if valid(r, i == 0) {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// EscapeLabelValue escapes backslash, double-quote, and newline per the
+// Prometheus text exposition format (version 0.0.4).
+func EscapeLabelValue(s string) string {
+	return labelEscaper.Replace(s)
+}
+
+// EscapeHelp escapes backslash and newline in HELP text.
+func EscapeHelp(s string) string {
+	return helpEscaper.Replace(s)
+}
+
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
 
 // Registry is a named collection of metrics. Registration takes a lock;
 // the returned metric objects are lock-free. All methods are safe for
@@ -87,6 +169,7 @@ func NewRegistry() *Registry {
 
 // Counter returns the counter registered under name, creating it if needed.
 func (r *Registry) Counter(name, help string) *Counter {
+	name = SanitizeMetricName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if m, ok := r.metrics[name]; ok && m.counter != nil {
@@ -99,6 +182,7 @@ func (r *Registry) Counter(name, help string) *Counter {
 
 // Gauge returns the gauge registered under name, creating it if needed.
 func (r *Registry) Gauge(name, help string) *Gauge {
+	name = SanitizeMetricName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if m, ok := r.metrics[name]; ok && m.gauge != nil {
@@ -113,6 +197,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // time — used to surface counters maintained elsewhere (buffer pool,
 // retry reader) without double bookkeeping. Re-registering replaces f.
 func (r *Registry) CounterFunc(name, help string, f func() uint64) {
+	name = SanitizeMetricName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.metrics[name] = &metric{name: name, help: help, kind: kindCounterFunc, counterFunc: f}
@@ -120,14 +205,29 @@ func (r *Registry) CounterFunc(name, help string, f func() uint64) {
 
 // GaugeFunc registers a gauge computed by f at render time.
 func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	name = SanitizeMetricName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.metrics[name] = &metric{name: name, help: help, kind: kindGaugeFunc, gaugeFunc: f}
 }
 
+// GaugeFuncLabeled registers a gauge series carrying constant labels,
+// computed by f at render time — e.g. dualsim_build_info{version,commit}.
+// Distinct label sets under one name are distinct series; re-registering
+// the same name+labels replaces f.
+func (r *Registry) GaugeFuncLabeled(name, help string, labels []Label, f func() float64) {
+	name = SanitizeMetricName(name)
+	m := &metric{name: name, help: help, kind: kindGaugeFunc,
+		labels: append([]Label(nil), labels...), gaugeFunc: f}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[m.series()] = m
+}
+
 // Histogram returns the histogram registered under name, creating it if
 // needed.
 func (r *Registry) Histogram(name, help string) *Histogram {
+	name = SanitizeMetricName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if m, ok := r.metrics[name]; ok && m.hist != nil {
@@ -138,6 +238,37 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return h
 }
 
+// MetricInfo describes one registered series: its metadata, not its
+// value. cmd/metricsdoc renders these into docs/METRICS.md.
+type MetricInfo struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"` // "counter", "gauge", or "histogram"
+	Help   string  `json:"help"`
+	Labels []Label `json:"labels,omitempty"`
+}
+
+// List returns metadata for every registered series, sorted by name.
+func (r *Registry) List() []MetricInfo {
+	ms := r.sorted()
+	out := make([]MetricInfo, 0, len(ms))
+	for _, m := range ms {
+		kind := "counter"
+		switch m.kind {
+		case kindGauge, kindGaugeFunc:
+			kind = "gauge"
+		case kindHistogram:
+			kind = "histogram"
+		}
+		out = append(out, MetricInfo{
+			Name:   m.name,
+			Kind:   kind,
+			Help:   m.help,
+			Labels: append([]Label(nil), m.labels...),
+		})
+	}
+	return out
+}
+
 // sorted returns the metrics in name order (rendering determinism).
 func (r *Registry) sorted() []*metric {
 	r.mu.RLock()
@@ -146,7 +277,12 @@ func (r *Registry) sorted() []*metric {
 		out = append(out, m)
 	}
 	r.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].series() < out[j].series()
+	})
 	return out
 }
 
@@ -168,13 +304,13 @@ func (r *Registry) Snapshot() *Snapshot {
 	for _, m := range r.sorted() {
 		switch m.kind {
 		case kindCounter:
-			s.Counters[m.name] = m.counter.Value()
+			s.Counters[m.series()] = m.counter.Value()
 		case kindCounterFunc:
-			s.Counters[m.name] = m.counterFunc()
+			s.Counters[m.series()] = m.counterFunc()
 		case kindGauge:
-			s.Gauges[m.name] = float64(m.gauge.Value())
+			s.Gauges[m.series()] = float64(m.gauge.Value())
 		case kindGaugeFunc:
-			s.Gauges[m.name] = m.gaugeFunc()
+			s.Gauges[m.series()] = m.gaugeFunc()
 		case kindHistogram:
 			s.Histograms[m.name] = m.hist.Snapshot()
 		}
@@ -183,24 +319,40 @@ func (r *Registry) Snapshot() *Snapshot {
 }
 
 // WritePrometheus renders every metric in the Prometheus text exposition
-// format (version 0.0.4), sorted by name.
+// format (version 0.0.4), sorted by name. HELP text and label values are
+// escaped; HELP/TYPE headers are emitted once per metric family even when
+// a name carries several label sets.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
 	for _, m := range r.sorted() {
-		if m.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+		if m.name != lastFamily {
+			lastFamily = m.name
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, EscapeHelp(m.help)); err != nil {
+					return err
+				}
+			}
+			typ := "counter"
+			switch m.kind {
+			case kindGauge, kindGaugeFunc:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ); err != nil {
 				return err
 			}
 		}
 		var err error
 		switch m.kind {
 		case kindCounter:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value())
+			_, err = fmt.Fprintf(w, "%s %d\n", m.series(), m.counter.Value())
 		case kindCounterFunc:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counterFunc())
+			_, err = fmt.Fprintf(w, "%s %d\n", m.series(), m.counterFunc())
 		case kindGauge:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.gauge.Value())
+			_, err = fmt.Fprintf(w, "%s %d\n", m.series(), m.gauge.Value())
 		case kindGaugeFunc:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", m.name, m.name, m.gaugeFunc())
+			_, err = fmt.Fprintf(w, "%s %g\n", m.series(), m.gaugeFunc())
 		case kindHistogram:
 			err = m.hist.writePrometheus(w, m.name)
 		}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowQueryEntry is one completed query recorded by the SlowLog.
+type SlowQueryEntry struct {
+	TraceID   string    `json:"trace_id,omitempty"`
+	Query     string    `json:"query,omitempty"`
+	Start     time.Time `json:"start"`
+	DurNS     int64     `json:"dur_ns"`     // queue + exec wall clock
+	PagesRead uint64    `json:"pages_read"` // attributed physical reads
+	IOWaitNS  int64     `json:"io_wait_ns"` // attributed window-pin wait
+	Windows   uint64    `json:"windows"`    // attributed windows processed
+	Rows      uint64    `json:"rows"`       // embeddings returned/counted
+	Status    string    `json:"status"`     // "ok", "truncated", or "error"
+	Err       string    `json:"err,omitempty"`
+}
+
+// SlowLogSnapshot is the GET /debug/slowlog payload: the recent ring
+// (newest first) plus the all-time heaviest queries by pages read.
+type SlowLogSnapshot struct {
+	ThresholdNS int64            `json:"threshold_ns"`
+	Observed    uint64           `json:"observed"` // queries seen, fast or slow
+	Slow        uint64           `json:"slow"`     // queries at/over threshold
+	Recent      []SlowQueryEntry `json:"recent,omitempty"`
+	TopByPages  []SlowQueryEntry `json:"top_by_pages,omitempty"`
+}
+
+// SlowLog records completed queries: a bounded ring of the most recent
+// queries whose duration met a threshold, plus a top-K leaderboard by
+// attributed pages read (pages are the paper's cost currency, so the
+// heaviest queries by I/O are tracked even when they finish fast). Safe
+// for concurrent use; Observe is called once per request off the hot path.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	ring      []SlowQueryEntry
+	next      int
+	filled    int
+	top       []SlowQueryEntry // sorted by PagesRead descending
+	k         int
+	observed  uint64
+	slow      uint64
+}
+
+// NewSlowLog returns a slow log keeping the last ringSize queries slower
+// than threshold and the top-k queries by pages read. Non-positive sizes
+// default to 64 and 8.
+func NewSlowLog(threshold time.Duration, ringSize, k int) *SlowLog {
+	if ringSize <= 0 {
+		ringSize = 64
+	}
+	if k <= 0 {
+		k = 8
+	}
+	return &SlowLog{
+		threshold: threshold,
+		ring:      make([]SlowQueryEntry, ringSize),
+		top:       make([]SlowQueryEntry, 0, k+1),
+		k:         k,
+	}
+}
+
+// Threshold returns the slow-query duration threshold.
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Counts returns how many queries were observed and how many met the
+// threshold (the dualsim_slow_queries_total export).
+func (l *SlowLog) Counts() (observed, slow uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.observed, l.slow
+}
+
+// Observe records one completed query.
+func (l *SlowLog) Observe(e SlowQueryEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observed++
+	if time.Duration(e.DurNS) >= l.threshold {
+		l.slow++
+		l.ring[l.next] = e
+		l.next = (l.next + 1) % len(l.ring)
+		if l.filled < len(l.ring) {
+			l.filled++
+		}
+	}
+	// Leaderboard: insert, keep sorted by pages read, clip to k.
+	if len(l.top) < l.k || e.PagesRead > l.top[len(l.top)-1].PagesRead {
+		l.top = append(l.top, e)
+		sort.SliceStable(l.top, func(i, j int) bool {
+			return l.top[i].PagesRead > l.top[j].PagesRead
+		})
+		if len(l.top) > l.k {
+			l.top = l.top[:l.k]
+		}
+	}
+}
+
+// Snapshot returns the current state, recent entries newest first.
+func (l *SlowLog) Snapshot() SlowLogSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := SlowLogSnapshot{
+		ThresholdNS: int64(l.threshold),
+		Observed:    l.observed,
+		Slow:        l.slow,
+		Recent:      make([]SlowQueryEntry, 0, l.filled),
+		TopByPages:  append([]SlowQueryEntry(nil), l.top...),
+	}
+	for i := 0; i < l.filled; i++ {
+		idx := (l.next - 1 - i + len(l.ring)) % len(l.ring)
+		s.Recent = append(s.Recent, l.ring[idx])
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func entry(id string, dur time.Duration, pages uint64) SlowQueryEntry {
+	return SlowQueryEntry{TraceID: id, Query: "q1", DurNS: int64(dur), PagesRead: pages, Status: "ok"}
+}
+
+// TestSlowLogThresholdRing checks the duration gate: fast queries are
+// observed but kept out of the ring, slow ones enter newest-first, and
+// the ring wraps at its size.
+func TestSlowLogThresholdRing(t *testing.T) {
+	l := NewSlowLog(100*time.Millisecond, 3, 2)
+	if l.Threshold() != 100*time.Millisecond {
+		t.Errorf("Threshold = %v", l.Threshold())
+	}
+	l.Observe(entry("fast", 10*time.Millisecond, 1))
+	l.Observe(entry("s1", 100*time.Millisecond, 2)) // at threshold counts
+	l.Observe(entry("s2", 200*time.Millisecond, 3))
+
+	obsd, slow := l.Counts()
+	if obsd != 3 || slow != 2 {
+		t.Errorf("Counts = (%d, %d), want (3, 2)", obsd, slow)
+	}
+	s := l.Snapshot()
+	if s.Observed != 3 || s.Slow != 2 {
+		t.Errorf("snapshot counts = (%d, %d)", s.Observed, s.Slow)
+	}
+	if len(s.Recent) != 2 || s.Recent[0].TraceID != "s2" || s.Recent[1].TraceID != "s1" {
+		t.Fatalf("Recent = %+v, want [s2 s1]", s.Recent)
+	}
+
+	// Wrap: 3-entry ring keeps only the newest three slow queries.
+	l.Observe(entry("s3", 300*time.Millisecond, 4))
+	l.Observe(entry("s4", 400*time.Millisecond, 5))
+	s = l.Snapshot()
+	if len(s.Recent) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(s.Recent))
+	}
+	for i, want := range []string{"s4", "s3", "s2"} {
+		if s.Recent[i].TraceID != want {
+			t.Errorf("Recent[%d] = %s, want %s", i, s.Recent[i].TraceID, want)
+		}
+	}
+}
+
+// TestSlowLogTopByPages checks the leaderboard tracks the heaviest
+// queries by pages read independent of the duration threshold: a fast
+// query with huge I/O makes the board, slow-but-cheap queries fall off.
+func TestSlowLogTopByPages(t *testing.T) {
+	l := NewSlowLog(time.Hour, 4, 2) // nothing meets the duration gate
+	l.Observe(entry("cheap", time.Millisecond, 1))
+	l.Observe(entry("mid", time.Millisecond, 50))
+	l.Observe(entry("heavy", time.Millisecond, 500))
+	l.Observe(entry("mid2", time.Millisecond, 60))
+
+	s := l.Snapshot()
+	if len(s.Recent) != 0 {
+		t.Errorf("duration ring should be empty, got %+v", s.Recent)
+	}
+	if len(s.TopByPages) != 2 {
+		t.Fatalf("top-K holds %d, want 2", len(s.TopByPages))
+	}
+	if s.TopByPages[0].TraceID != "heavy" || s.TopByPages[1].TraceID != "mid2" {
+		t.Errorf("TopByPages = [%s %s], want [heavy mid2]",
+			s.TopByPages[0].TraceID, s.TopByPages[1].TraceID)
+	}
+
+	// Negative/zero threshold records everything in the ring.
+	all := NewSlowLog(0, 4, 2)
+	all.Observe(entry("a", 0, 0))
+	if got := all.Snapshot(); len(got.Recent) != 1 {
+		t.Errorf("zero threshold: ring = %+v, want 1 entry", got.Recent)
+	}
+
+	// Defaults: non-positive sizes fall back to 64/8.
+	d := NewSlowLog(0, 0, 0)
+	for i := 0; i < 70; i++ {
+		d.Observe(entry("x", time.Second, uint64(i)))
+	}
+	s = d.Snapshot()
+	if len(s.Recent) != 64 {
+		t.Errorf("default ring = %d, want 64", len(s.Recent))
+	}
+	if len(s.TopByPages) != 8 {
+		t.Errorf("default top-K = %d, want 8", len(s.TopByPages))
+	}
+}

@@ -1,6 +1,9 @@
 package obs
 
 import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"io"
 	"sync"
@@ -22,9 +25,17 @@ import (
 // retry_recovered, retry_exhausted) carrying {page, attempt} when the
 // resilient read path is active. Zero-valued fields are omitted from the
 // JSON encoding; Level and Window are 1-based.
+//
+// When a run executes under an attribution Scope the events additionally
+// form a span hierarchy — query (run_start/run_end) → plan (plan_resolve)
+// → level (level_start/level_end) → window (window_open/window_close) —
+// identified by Span/Parent IDs unique within the query's TraceID.
 type Event struct {
 	TS      string `json:"ts,omitempty"` // RFC3339Nano, stamped by the tracer
 	Event   string `json:"event"`
+	TraceID string `json:"trace,omitempty"`  // query-scoped trace ID (HTTP admission or -profile)
+	Span    uint64 `json:"span,omitempty"`   // span ID, unique within the trace
+	Parent  uint64 `json:"parent,omitempty"` // parent span ID (0 = root)
 	Level   int    `json:"level,omitempty"`
 	Window  int    `json:"window,omitempty"`
 	Lo      uint64 `json:"lo,omitempty"`
@@ -48,15 +59,21 @@ type Tracer interface {
 }
 
 // JSONLTracer writes each event as one JSON line. Safe for concurrent use.
+// Writes are buffered; callers that need events durable (a trace file, a
+// draining server) must call Flush or Close, which the engine and server
+// do on shutdown so the final spans of in-flight queries are never lost.
 type JSONLTracer struct {
 	mu  sync.Mutex
+	w   io.Writer // underlying writer, for sync-through on Flush
+	bw  *bufio.Writer
 	enc *json.Encoder
 	now func() time.Time // test seam
 }
 
 // NewJSONLTracer returns a tracer writing JSONL to w.
 func NewJSONLTracer(w io.Writer) *JSONLTracer {
-	return &JSONLTracer{enc: json.NewEncoder(w), now: time.Now}
+	bw := bufio.NewWriterSize(w, 16<<10)
+	return &JSONLTracer{w: w, bw: bw, enc: json.NewEncoder(bw), now: time.Now}
 }
 
 // Emit stamps and writes one event. Encoding errors are dropped: tracing
@@ -68,4 +85,44 @@ func (t *JSONLTracer) Emit(e Event) {
 	t.mu.Lock()
 	_ = t.enc.Encode(e)
 	t.mu.Unlock()
+}
+
+// Flush drains buffered events to the underlying writer and, if that
+// writer exposes its own Flush or Sync, pushes them through it too.
+func (t *JSONLTracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.bw.Flush()
+	if f, ok := t.w.(Flusher); ok {
+		if ferr := f.Flush(); err == nil {
+			err = ferr
+		}
+	} else if s, ok := t.w.(interface{ Sync() error }); ok {
+		if serr := s.Sync(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// Close flushes the tracer. It does not close the underlying writer, whose
+// lifetime the caller owns; Close is idempotent and safe to call from both
+// an Engine.Close and a server drain sharing one tracer.
+func (t *JSONLTracer) Close() error { return t.Flush() }
+
+// Flusher is implemented by tracers whose events are buffered. Engine
+// close and server drain flush any Tracer implementing it.
+type Flusher interface {
+	Flush() error
+}
+
+// NewTraceID returns a 16-hex-character random trace ID, minted once per
+// query at HTTP admission (or per profiled CLI run).
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a timestamp: uniqueness-best-effort beats failing.
+		return time.Now().UTC().Format("20060102T150405.000000000")
+	}
+	return hex.EncodeToString(b[:])
 }

@@ -16,6 +16,9 @@ func TestJSONLTracerRoundTrip(t *testing.T) {
 	tr.now = func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
 	tr.Emit(Event{Event: "window_open", Level: 1, Window: 1, Lo: 0, Hi: 99, Pages: 4})
 	tr.Emit(Event{Event: "window_close", Level: 1, Window: 1, DurUS: 1500})
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
 
 	var events []Event
 	sc := bufio.NewScanner(&buf)
@@ -56,6 +59,9 @@ func TestJSONLTracerConcurrent(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
 	lines := 0
 	sc := bufio.NewScanner(&buf)
 	for sc.Scan() {

@@ -10,8 +10,10 @@ import (
 	"sync"
 	"time"
 
+	"dualsim/internal/buildinfo"
 	"dualsim/internal/core"
 	"dualsim/internal/graph"
+	"dualsim/internal/obs"
 	"dualsim/internal/plan"
 	"dualsim/internal/storage"
 )
@@ -62,7 +64,17 @@ type QueryResponse struct {
 	// of restarting. Rows from the partially-streamed window are replayed
 	// (at-least-once delivery); counts stay exactly-once.
 	ResumeToken string `json:"resume_token,omitempty"`
-	Done        bool   `json:"done"`
+	// TraceID is this request's trace ID, minted at admission and also
+	// echoed in the X-Dualsim-Trace-Id response header; every span the
+	// query emitted carries it.
+	TraceID string `json:"trace_id,omitempty"`
+	// ResumedFromTrace is the trace ID of the run that minted the redeemed
+	// resume token, linking the continuation back to the original request.
+	ResumedFromTrace string `json:"resumed_from_trace,omitempty"`
+	// Profile is the per-query attributed cost breakdown, present when the
+	// request asked for it with POST /query?profile=1.
+	Profile *obs.CostProfile `json:"profile,omitempty"`
+	Done    bool             `json:"done"`
 }
 
 // resumeTokenLine is the periodic mid-stream record carrying a checkpoint.
@@ -115,6 +127,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sm.requests.Inc()
 
+	// Per-request attribution starts here: mint the trace ID at admission
+	// and echo it on every reply (including rejections), so a client can
+	// correlate any response — even a 429 — with server-side spans.
+	reqStart := time.Now()
+	traceID := obs.NewTraceID()
+	w.Header().Set("X-Dualsim-Trace-Id", traceID)
+
 	// Breaker gate, before any parsing or admission work: an open breaker
 	// means the device is misbehaving and the cheapest thing the service
 	// can do is tell the client when to come back.
@@ -157,7 +176,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The attribution scope rides the whole serving path: the engine and
+	// its buffer pool mirror every cost counter into it, and its span
+	// sequence is shared between the server (query/plan spans) and the
+	// engine (run/level/window spans) so IDs never collide.
+	scope := obs.NewScope(traceID)
+	querySpan := scope.NextSpanID()
+	scope.SetRootSpan(querySpan)
+	wantProfile := false
+	switch r.URL.Query().Get("profile") {
+	case "1", "true":
+		wantProfile = true
+	}
+	s.emitSpan(obs.Event{Event: "query_start", TraceID: traceID, Span: querySpan})
+
+	planStart := time.Now()
 	p, perm, planKey, cached, err := s.planFor(q)
+	s.emitSpan(obs.Event{Event: "plan_resolve", TraceID: traceID,
+		Span: scope.NextSpanID(), Parent: querySpan,
+		DurUS: time.Since(planStart).Microseconds()})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "planning: %v", err)
 		return
@@ -167,6 +204,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// to have been minted for this exact plan — a checkpoint's cursor and
 	// counts are meaningless under any other matching order.
 	var resume *core.Checkpoint
+	var resumedFrom string
 	if req.ResumeToken != "" {
 		payload, err := s.tokens.decode(req.ResumeToken)
 		if err != nil {
@@ -180,6 +218,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resume = &payload.CP
+		resumedFrom = payload.Trace
 	}
 
 	// Admission: bounded queue, bounded wait, per-request deadline.
@@ -225,7 +264,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// A shedding breaker drops speculation first: prefetch multiplies reads
 	// against a device that is already failing them, and the budget carved
 	// from the buffer pool is worth more as demand-fetch frames.
-	spec := core.RunSpec{Plan: p, Resume: resume, DisablePrefetch: s.br.shedding()}
+	spec := core.RunSpec{Plan: p, Resume: resume, DisablePrefetch: s.br.shedding(), Scope: scope}
+
+	attr := queryAttribution{
+		traceID:     traceID,
+		scope:       scope,
+		querySpan:   querySpan,
+		resumedFrom: resumedFrom,
+		wantProfile: wantProfile,
+		start:       reqStart,
+		queueNS:     queueNS,
+	}
 
 	if !streaming {
 		res, err := eng.RunSpecContext(runCtx, spec)
@@ -233,27 +282,93 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.recordRunOutcome(res, err, probe)
 		s.accountResume(resume, err)
 		if err != nil {
+			s.settleQuery(attr, q.Name(), 0, "error", err)
 			s.writeRunError(w, r, err)
 			return
 		}
+		s.settleQuery(attr, q.Name(), res.Count, "ok", nil)
 		writeJSON(w, http.StatusOK, QueryResponse{
-			Query:         q.Name(),
-			Count:         res.Count,
-			Internal:      res.Internal,
-			External:      res.External,
-			PlanCached:    cached,
-			PrepNS:        res.PrepTime.Nanoseconds(),
-			ExecNS:        res.ExecTime.Nanoseconds(),
-			QueueNS:       queueNS,
-			PhysicalReads: res.IO.PhysicalReads,
-			Resumed:       res.Resumed,
-			WindowRetries: res.WindowRetries,
-			Done:          true,
+			Query:            q.Name(),
+			Count:            res.Count,
+			Internal:         res.Internal,
+			External:         res.External,
+			PlanCached:       cached,
+			PrepNS:           res.PrepTime.Nanoseconds(),
+			ExecNS:           res.ExecTime.Nanoseconds(),
+			QueueNS:          queueNS,
+			PhysicalReads:    res.IO.PhysicalReads,
+			Resumed:          res.Resumed,
+			WindowRetries:    res.WindowRetries,
+			TraceID:          traceID,
+			ResumedFromTrace: resumedFrom,
+			Profile:          attr.profile(res.Profile),
+			Done:             true,
 		})
 		return
 	}
 	probeArmed = false // streamEmbeddings settles the probe
-	s.streamEmbeddings(w, r, req, q, p, perm, planKey, cached, spec, probe, eng, runCtx, cancelRun, queueNS)
+	s.streamEmbeddings(w, r, req, q, p, perm, planKey, cached, spec, probe, eng, runCtx, cancelRun, attr)
+}
+
+// queryAttribution bundles the per-request observability state threaded
+// from admission through the count and streaming paths.
+type queryAttribution struct {
+	traceID     string
+	scope       *obs.Scope
+	querySpan   uint64
+	resumedFrom string
+	wantProfile bool
+	start       time.Time
+	queueNS     int64
+}
+
+// profile returns the cost profile to attach to a response: the engine's
+// (when the run finished and produced one) or a direct scope snapshot
+// (cancelled/failed runs — attribution still settled before the engine
+// returned), with the server-side queue wait filled in. Nil unless the
+// request asked for a profile.
+func (a queryAttribution) profile(fromRun *obs.CostProfile) *obs.CostProfile {
+	if !a.wantProfile {
+		return nil
+	}
+	var pr obs.CostProfile
+	if fromRun != nil {
+		pr = *fromRun
+	} else {
+		pr = a.scope.Profile()
+	}
+	pr.QueueNS = a.queueNS
+	return &pr
+}
+
+// settleQuery closes out one request's observability: emits the query_end
+// span and records the query in the slow log with its attributed costs.
+func (s *Server) settleQuery(attr queryAttribution, query string, rows uint64, status string, err error) {
+	dur := time.Since(attr.start)
+	s.emitSpan(obs.Event{Event: "query_end", TraceID: attr.traceID,
+		Span: attr.querySpan, DurUS: dur.Microseconds()})
+	e := obs.SlowQueryEntry{
+		TraceID:   attr.traceID,
+		Query:     query,
+		Start:     attr.start,
+		DurNS:     dur.Nanoseconds(),
+		PagesRead: attr.scope.PagesRead.Load(),
+		IOWaitNS:  int64(attr.scope.IOWaitNanos.Load()),
+		Windows:   attr.scope.Windows.Load(),
+		Rows:      rows,
+		Status:    status,
+	}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	s.slowlog.Observe(e)
+}
+
+// emitSpan writes one server-side span event to the shared tracer, if any.
+func (s *Server) emitSpan(e obs.Event) {
+	if s.trc != nil {
+		s.trc.Emit(e)
+	}
 }
 
 // recordRunOutcome feeds one settled run back to the breaker. Transient
@@ -301,8 +416,9 @@ func (s *Server) accountResume(resume *core.Checkpoint, err error) {
 func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req QueryRequest,
 	q *graph.Query, p *plan.Plan, perm []int, planKey string, cached bool,
 	spec core.RunSpec, probe bool,
-	eng *core.Engine, runCtx context.Context, cancelRun context.CancelFunc, queueNS int64) {
+	eng *core.Engine, runCtx context.Context, cancelRun context.CancelFunc, attr queryAttribution) {
 
+	queueNS := attr.queueNS
 	limit := s.cfg.RowLimit
 	if req.Limit > 0 && req.Limit < limit {
 		limit = req.Limit
@@ -356,7 +472,8 @@ func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req Qu
 	var lastToken string
 	sinceToken := 0
 	spec.OnCheckpoint = func(cp core.Checkpoint) {
-		tok := s.tokens.encode(resumePayload{V: resumeTokenVersion, Plan: planKey, CP: cp})
+		tok := s.tokens.encode(resumePayload{V: resumeTokenVersion, Plan: planKey, CP: cp,
+			Trace: attr.traceID})
 		mu.Lock()
 		defer mu.Unlock()
 		lastToken = tok
@@ -387,45 +504,62 @@ func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req Qu
 	defer mu.Unlock()
 	switch {
 	case err == nil:
+		s.settleQuery(attr, q.Name(), rows, statusOf(truncated), nil)
 		trailer := QueryResponse{
-			Query:         q.Name(),
-			Count:         res.Count,
-			Internal:      res.Internal,
-			External:      res.External,
-			Rows:          rows,
-			Truncated:     truncated,
-			PlanCached:    cached,
-			PrepNS:        res.PrepTime.Nanoseconds(),
-			ExecNS:        res.ExecTime.Nanoseconds(),
-			QueueNS:       queueNS,
-			PhysicalReads: res.IO.PhysicalReads,
-			Resumed:       res.Resumed,
-			WindowRetries: res.WindowRetries,
-			Done:          true,
+			Query:            q.Name(),
+			Count:            res.Count,
+			Internal:         res.Internal,
+			External:         res.External,
+			Rows:             rows,
+			Truncated:        truncated,
+			PlanCached:       cached,
+			PrepNS:           res.PrepTime.Nanoseconds(),
+			ExecNS:           res.ExecTime.Nanoseconds(),
+			QueueNS:          queueNS,
+			PhysicalReads:    res.IO.PhysicalReads,
+			Resumed:          res.Resumed,
+			WindowRetries:    res.WindowRetries,
+			TraceID:          attr.traceID,
+			ResumedFromTrace: attr.resumedFrom,
+			Profile:          attr.profile(res.Profile),
+			Done:             true,
 		}
 		b, _ := json.Marshal(trailer)
 		_, _ = w.Write(append(b, '\n'))
 	case truncated:
+		s.settleQuery(attr, q.Name(), rows, "truncated", nil)
 		trailer := QueryResponse{Query: q.Name(), Rows: rows, Truncated: true, PlanCached: cached,
-			QueueNS: queueNS, ResumeToken: lastToken, Done: true}
+			QueueNS: queueNS, ResumeToken: lastToken,
+			TraceID: attr.traceID, ResumedFromTrace: attr.resumedFrom,
+			Profile: attr.profile(nil), Done: true}
 		b, _ := json.Marshal(trailer)
 		_, _ = w.Write(append(b, '\n'))
 	case clientGone || r.Context().Err() != nil:
 		// Nobody is listening; nothing to write. If the disconnect surfaced
 		// through the request context rather than a failed write, it has not
 		// been counted yet.
+		s.settleQuery(attr, q.Name(), rows, "error", err)
 		if !clientGone {
 			s.sm.disconnects.Inc()
 		}
 	default:
 		// Status already went out; surface the failure as a final line, with
 		// the last checkpoint so the client can resume instead of restart.
+		s.settleQuery(attr, q.Name(), rows, "error", err)
 		b, _ := json.Marshal(errorResponse{Error: err.Error(), ResumeToken: lastToken})
 		_, _ = w.Write(append(b, '\n'))
 	}
 	if flusher != nil {
 		flusher.Flush()
 	}
+}
+
+// statusOf maps a finished stream to its slow-log status.
+func statusOf(truncated bool) string {
+	if truncated {
+		return "truncated"
+	}
+	return "ok"
 }
 
 // writeRunError maps run failures onto HTTP statuses: client cancellations
@@ -487,6 +621,13 @@ type StatsResponse struct {
 	BreakerState     string `json:"breaker_state"`
 	BreakerTrips     uint64 `json:"breaker_trips"`
 	BreakerRejects   uint64 `json:"breaker_rejects"`
+	// Build identity, stamped via -ldflags (see Makefile) with a
+	// debug.ReadBuildInfo fallback.
+	BuildVersion string `json:"build_version"`
+	BuildCommit  string `json:"build_commit,omitempty"`
+	// Slow-query log summary: counts plus the heaviest queries by
+	// attributed pages read. The full recent ring is at GET /debug/slowlog.
+	SlowLog obs.SlowLogSnapshot `json:"slow_log"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -507,6 +648,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Unlock()
 	brState, brTrips := s.br.snapshot()
+	buildVersion, buildCommit := buildinfo.Info()
+	slowSummary := s.slowlog.Snapshot()
+	slowSummary.Recent = nil // summary only; ring served by /debug/slowlog
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Vertices:       s.db.NumVertices(),
 		Edges:          s.db.NumEdges(),
@@ -536,5 +680,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		BreakerState:     breakerStateName(brState),
 		BreakerTrips:     brTrips,
 		BreakerRejects:   s.sm.breakerRejects.Value(),
+		BuildVersion:     buildVersion,
+		BuildCommit:      buildCommit,
+		SlowLog:          slowSummary,
 	})
+}
+
+// handleSlowlog serves the full slow-query log: the recent ring (newest
+// first) of queries at/over the configured duration threshold plus the
+// all-time top-K by attributed pages read.
+func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.slowlog.Snapshot())
 }

@@ -17,6 +17,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -25,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dualsim/internal/buildinfo"
 	"dualsim/internal/core"
 	"dualsim/internal/graph"
 	"dualsim/internal/obs"
@@ -80,6 +82,22 @@ type Config struct {
 	// pin-wait exceeded it as breaker pressure (a fault outcome). Zero
 	// disables the pin-wait input.
 	BreakerPinWait time.Duration
+	// SlowQueryThreshold is the duration (queue wait + run) at which a
+	// completed query enters the slow-query ring (default 500ms; negative
+	// records every query). The top-K-by-pages-read leaderboard is
+	// independent of the threshold.
+	SlowQueryThreshold time.Duration
+	// SlowLogSize bounds the slow-query ring (default 64).
+	SlowLogSize int
+	// SlowLogTopK bounds the pages-read leaderboard (default 8).
+	SlowLogTopK int
+	// TraceWriter, when non-nil, receives the JSONL span stream of every
+	// request: query/plan spans emitted at admission plus the engine's
+	// run/level/window spans, all stamped with the request's trace ID. The
+	// server owns the tracer and flushes it on Drain and Close so the
+	// final spans of in-flight queries are never lost. Ignored when
+	// Engine.Tracer is set explicitly.
+	TraceWriter io.Writer
 	// Engine is the per-engine template. Metrics, OnMatch and buffer sizing
 	// are managed by the server (buffer fields are reinterpreted as the
 	// global budget; Threads defaults to GOMAXPROCS/Engines).
@@ -120,6 +138,17 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = time.Second
 	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = 500 * time.Millisecond
+	} else if c.SlowQueryThreshold < 0 {
+		c.SlowQueryThreshold = 0
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 64
+	}
+	if c.SlowLogTopK <= 0 {
+		c.SlowLogTopK = 8
+	}
 	if c.Engine.Threads <= 0 {
 		c.Engine.Threads = runtime.GOMAXPROCS(0) / c.Engines
 		if c.Engine.Threads < 1 {
@@ -154,8 +183,12 @@ type Server struct {
 	hsrv *http.Server
 	lis  net.Listener
 
-	start time.Time
-	sm    *serverMetrics
+	start   time.Time
+	sm      *serverMetrics
+	slowlog *obs.SlowLog
+	// trc is the span sink shared by admission (query/plan spans) and the
+	// engines (run/level/window spans); nil disables tracing.
+	trc obs.Tracer
 }
 
 // New builds the service over db (any core.Database — *storage.DB in
@@ -172,6 +205,9 @@ func New(db core.Database, cfg Config) (*Server, error) {
 	tokens, err := newTokenCodec()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Engine.Tracer == nil && cfg.TraceWriter != nil {
+		cfg.Engine.Tracer = obs.NewJSONLTracer(cfg.TraceWriter)
 	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -191,6 +227,8 @@ func New(db core.Database, cfg Config) (*Server, error) {
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 		start:      time.Now(),
+		slowlog:    obs.NewSlowLog(cfg.SlowQueryThreshold, cfg.SlowLogSize, cfg.SlowLogTopK),
+		trc:        cfg.Engine.Tracer,
 	}
 	for i := 0; i < cfg.Engines; i++ {
 		e, err := s.newEngine()
@@ -205,9 +243,11 @@ func New(db core.Database, cfg Config) (*Server, error) {
 	s.cache.Register(reg)
 	s.sm = registerServerMetrics(reg, s)
 	s.registerAggregatePoolMetrics()
+	buildinfo.Register(reg)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
 	obs.Register(s.mux, reg)
 	return s, nil
 }
@@ -326,6 +366,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.baseCancel()
 	s.closeEngines()
+	s.flushTracer()
 	return err
 }
 
@@ -339,7 +380,18 @@ func (s *Server) Close() error {
 	}
 	s.inflight.Wait()
 	s.closeEngines()
+	s.flushTracer()
 	return nil
+}
+
+// flushTracer pushes buffered span events to the trace sink — the last
+// step of Drain/Close, after every in-flight run has emitted its final
+// spans (Engine.Close also flushes, but a drained server may have already
+// replaced or dropped engines).
+func (s *Server) flushTracer() {
+	if f, ok := s.trc.(obs.Flusher); ok {
+		_ = f.Flush()
+	}
 }
 
 func (s *Server) closeEngines() {
@@ -505,6 +557,10 @@ func registerServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			return 1
 		}
 		return 0
+	})
+	reg.CounterFunc("dualsim_slow_queries_total", "completed queries at/over the slow-query threshold", func() uint64 {
+		_, slow := s.slowlog.Counts()
+		return slow
 	})
 	return sm
 }

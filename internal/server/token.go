@@ -24,6 +24,9 @@ type resumePayload struct {
 	V    int             `json:"v"`
 	Plan string          `json:"plan"`
 	CP   core.Checkpoint `json:"cp"`
+	// Trace is the trace ID of the run that minted the token, so a
+	// resumed query can report which request it continues.
+	Trace string `json:"tr,omitempty"`
 }
 
 // errBadToken reports a resume token that failed decoding or signature

@@ -2,6 +2,7 @@ package dualsim
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"time"
 
@@ -57,6 +58,21 @@ type ServerConfig struct {
 	// BreakerPinWait, when positive, also counts a successful run whose
 	// buffer pin-wait exceeded this duration as a fault (pressure signal).
 	BreakerPinWait time.Duration
+	// TraceWriter, when non-nil, receives the service-wide JSONL span trace:
+	// every request's query/plan spans plus the engine's run/level/window
+	// spans, all carrying the request's trace ID (echoed to clients in the
+	// X-Dualsim-Trace-Id header). The server buffers the trace and flushes
+	// it on Drain and Close.
+	TraceWriter io.Writer
+	// SlowQueryThreshold gates the slow-query log's recent ring: completed
+	// queries at or over this duration are recorded and surfaced at
+	// GET /debug/slowlog (summary in GET /stats). Zero means the 500ms
+	// default; negative records every query.
+	SlowQueryThreshold time.Duration
+	// SlowLogSize bounds the slow-query ring (default 64); SlowLogTopK the
+	// heaviest-by-pages-read leaderboard (default 8).
+	SlowLogSize int
+	SlowLogTopK int
 	// Engine is the per-engine template. Buffer sizing is reinterpreted as
 	// the global budget; Threads defaults to GOMAXPROCS divided across the
 	// pool. MetricsAddr, TraceWriter and progress options are ignored here —
@@ -71,8 +87,14 @@ type ServerConfig struct {
 //
 //	POST /query    {"query":"q1","mode":"count"}            -> JSON result
 //	POST /query    {"query":"0-1,1-2,0-2","mode":"embeddings"} -> NDJSON rows
-//	GET  /stats    service and database snapshot
+//	GET  /stats    service and database snapshot (incl. slow-log summary)
 //	GET  /metrics  Prometheus text format (plus /debug/vars, /debug/pprof)
+//	GET  /debug/slowlog  slow-query ring + heaviest queries by pages read
+//
+// Every request is attributed: a trace ID minted at admission is echoed in
+// the X-Dualsim-Trace-Id header and the response trailer, spans flow to
+// ServerConfig.TraceWriter, and POST /query?profile=1 appends the query's
+// attributed CostProfile to its reply.
 //
 // Saturation produces 429 with Retry-After. Stop with Drain (graceful:
 // in-flight queries finish) or Close (abrupt: runs are cancelled).
@@ -84,19 +106,23 @@ type Server struct {
 // listener: call Listen, or mount Handler on a server of your own.
 func (d *DB) NewServer(cfg ServerConfig) (*Server, error) {
 	srv, err := server.New(d.db, server.Config{
-		Engines:           cfg.Engines,
-		QueueDepth:        cfg.QueueDepth,
-		QueueWait:         cfg.QueueWait,
-		RowLimit:          cfg.RowLimit,
-		PlanCacheSize:     cfg.PlanCacheSize,
-		ResumeTokenEvery:  cfg.ResumeTokenEvery,
-		BreakerWindow:     cfg.BreakerWindow,
-		BreakerMinSamples: cfg.BreakerMinSamples,
-		BreakerShedRatio:  cfg.BreakerShedRatio,
-		BreakerOpenRatio:  cfg.BreakerOpenRatio,
-		BreakerCooldown:   cfg.BreakerCooldown,
-		BreakerPinWait:    cfg.BreakerPinWait,
-		Engine:            cfg.Engine.coreOptions(),
+		Engines:            cfg.Engines,
+		QueueDepth:         cfg.QueueDepth,
+		QueueWait:          cfg.QueueWait,
+		RowLimit:           cfg.RowLimit,
+		PlanCacheSize:      cfg.PlanCacheSize,
+		ResumeTokenEvery:   cfg.ResumeTokenEvery,
+		BreakerWindow:      cfg.BreakerWindow,
+		BreakerMinSamples:  cfg.BreakerMinSamples,
+		BreakerShedRatio:   cfg.BreakerShedRatio,
+		BreakerOpenRatio:   cfg.BreakerOpenRatio,
+		BreakerCooldown:    cfg.BreakerCooldown,
+		BreakerPinWait:     cfg.BreakerPinWait,
+		TraceWriter:        cfg.TraceWriter,
+		SlowQueryThreshold: cfg.SlowQueryThreshold,
+		SlowLogSize:        cfg.SlowLogSize,
+		SlowLogTopK:        cfg.SlowLogTopK,
+		Engine:             cfg.Engine.coreOptions(),
 	})
 	if err != nil {
 		return nil, err
