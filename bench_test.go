@@ -7,8 +7,11 @@ package dualsim
 // experiments at full reproduction scale and prints the paper-style tables.
 
 import (
+	"context"
+	"errors"
 	"io"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -18,7 +21,9 @@ import (
 	"dualsim/internal/faultdb"
 	"dualsim/internal/gen"
 	"dualsim/internal/graph"
+	"dualsim/internal/plan"
 	"dualsim/internal/rbi"
+	"dualsim/internal/sharedscan"
 	"dualsim/internal/storage"
 )
 
@@ -266,7 +271,8 @@ func BenchmarkWindowEnum(b *testing.B) {
 	g := gen.PlantedHubs(30000, 24, 2500, 99)
 	dir := b.TempDir()
 	path := filepath.Join(dir, "hubs.db")
-	if _, err := storage.BuildFromGraph(path, g, storage.BuildOptions{PageSize: 4096, TempDir: dir}); err != nil {
+	bstats, err := storage.BuildFromGraph(path, g, storage.BuildOptions{PageSize: 4096, TempDir: dir})
+	if err != nil {
 		b.Fatal(err)
 	}
 	db, err := storage.Open(path)
@@ -401,6 +407,76 @@ func BenchmarkWindowEnum(b *testing.B) {
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(retries)/float64(b.N), "window_retries/op")
+	})
+
+	// Shared-scan variants: the serving policy comparison behind -share-scan.
+	// Both run 4 identical 4-clique queries against the same global budget of
+	// 1.5x the database (so deep-level reads stay resident while the level-1
+	// partition still splits into several windows). "solo-4q" is the "N small
+	// buffers" policy — each query gets its own engine with a quarter of the
+	// budget; "shared-4q" boards all 4 on one cohort engine holding the
+	// undivided budget and sweeps once. Pools start cold every iteration, so
+	// the pages/query metric is the physical cost of one arrival, and the
+	// solo:shared ratio is the amortization the cohort buys (docs/BENCHMARKS.md
+	// records the derived line).
+	sharedFrames := bstats.NumPages * 3 / 2
+	b.Run("solo-4q", func(b *testing.B) {
+		var pages uint64
+		for i := 0; i < b.N; i++ {
+			for q := 0; q < 4; q++ {
+				eng, err := core.NewEngine(db, core.Options{Threads: 4, BufferFrames: sharedFrames / 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := eng.Run(graph.Clique4())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Count == 0 {
+					b.Fatal("suspicious zero count")
+				}
+				pages += eng.PoolStats().PhysicalReads
+				eng.Close()
+			}
+		}
+		b.ReportMetric(float64(pages)/float64(b.N*4), "pages/query")
+	})
+	b.Run("shared-4q", func(b *testing.B) {
+		p, err := plan.Prepare(graph.Clique4(), plan.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pages uint64
+		for i := 0; i < b.N; i++ {
+			eng, err := core.NewEngine(db, core.Options{Threads: 4, BufferFrames: sharedFrames})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sched := sharedscan.New(eng, sharedscan.Options{MaxRiders: 4, FormationWait: 2 * time.Millisecond})
+			var wg sync.WaitGroup
+			errs := make([]error, 4)
+			for q := 0; q < 4; q++ {
+				wg.Add(1)
+				go func(q int) {
+					defer wg.Done()
+					res, err := sched.Run(context.Background(), core.RunSpec{Plan: p})
+					if err == nil && res.Count == 0 {
+						err = errors.New("suspicious zero count")
+					}
+					errs[q] = err
+				}(q)
+			}
+			wg.Wait()
+			sched.Close()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			pages += eng.PoolStats().PhysicalReads
+			eng.Close()
+		}
+		b.ReportMetric(float64(pages)/float64(b.N*4), "pages/query")
 	})
 }
 

@@ -117,6 +117,7 @@ func usageTo(w io.Writer) {
   dualsim serve  -db <graph.db> [-addr :8372] [-engines N] [-queue N] [-queue-wait D] [-row-limit N]
                  [-plan-cache N] [-buffer F] [-frames N] [-prefetch N] [-threads N] [-drain-timeout D]
                  [-trace spans.jsonl] [-slow-query D] [-slowlog-size N] [-slowlog-top N]
+                 [-share-scan] [-cohort-riders N] [-cohort-wait D]
   dualsim -version
   dualsim stats  -db <graph.db>
   dualsim verify -db <graph.db>
@@ -271,6 +272,9 @@ func cmdServe(args []string) error {
 	slowQuery := fs.Duration("slow-query", 0, "slow-query log threshold (0 = 500ms, negative = record all)")
 	slowlogSize := fs.Int("slowlog-size", 0, "slow-query ring entries (0 = 64)")
 	slowlogTop := fs.Int("slowlog-top", 0, "heaviest-queries-by-pages leaderboard size (0 = 8)")
+	shareScan := fs.Bool("share-scan", false, "share one level-1 window sweep across concurrent queries (one big buffer, N riders)")
+	cohortRiders := fs.Int("cohort-riders", 0, "max queries riding one shared sweep (0 = 4; needs -share-scan)")
+	cohortWait := fs.Duration("cohort-wait", 0, "how long a fresh cohort holds the doors for more riders (0 = 10ms)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to let in-flight queries finish after SIGTERM")
 	fs.Parse(args)
 	if *dbPath == "" {
@@ -292,17 +296,20 @@ func cmdServe(args []string) error {
 		engOpts.Retry = &dualsim.RetryPolicy{MaxRetries: *retries}
 	}
 	cfg := dualsim.ServerConfig{
-		Engines:            *engines,
-		QueueDepth:         *queue,
-		QueueWait:          *queueWait,
-		RowLimit:           *rowLimit,
-		PlanCacheSize:      *planCache,
-		ResumeTokenEvery:   *resumeEvery,
-		BreakerCooldown:    *breakerCooldown,
-		SlowQueryThreshold: *slowQuery,
-		SlowLogSize:        *slowlogSize,
-		SlowLogTopK:        *slowlogTop,
-		Engine:             engOpts,
+		Engines:             *engines,
+		QueueDepth:          *queue,
+		QueueWait:           *queueWait,
+		RowLimit:            *rowLimit,
+		PlanCacheSize:       *planCache,
+		ResumeTokenEvery:    *resumeEvery,
+		BreakerCooldown:     *breakerCooldown,
+		SlowQueryThreshold:  *slowQuery,
+		SlowLogSize:         *slowlogSize,
+		SlowLogTopK:         *slowlogTop,
+		ShareScan:           *shareScan,
+		CohortMaxRiders:     *cohortRiders,
+		CohortFormationWait: *cohortWait,
+		Engine:              engOpts,
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

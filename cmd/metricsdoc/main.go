@@ -88,7 +88,8 @@ func registerAll() ([]obs.MetricInfo, error) {
 	}
 	defer db.Close()
 	srv, err := server.New(db, server.Config{
-		Engines: 1,
+		Engines:   1,
+		ShareScan: true, // the cohort scheduler registers its metrics eagerly
 		Engine: core.Options{
 			Threads:      1,
 			BufferFrames: 8,
@@ -133,8 +134,14 @@ var paperNotes = []struct{ pattern, note string }{
 	{"dualsim_slow_queries_total", "per-query attribution: completed queries at/over the slow-log threshold"},
 	{"dualsim_build_info", "build identity (version/commit labels, constant 1)"},
 	{"dualsim_runs_total", "enumeration runs executed"},
+	{"dualsim_server_cohort_fallbacks_total", "shared-scan eligibility boundary: queries bounced to a solo engine"},
 	{"dualsim_server_*", "serving layer: admission, queueing, streaming, drain (§7)"},
+	{"dualsim_plan_cache_shared_builds_total", "singleflight plan construction: N concurrent arrivals, one Prepare"},
 	{"dualsim_plan_cache_*", "canonical-form plan cache (§7): isomorphic queries share one plan"},
+	{"dualsim_cohort_*", "shared-scan cohorts: one level-1 sweep amortized over N riders (§6's scan-sharing corollary)"},
+	{"dualsim_shared_windows_total", "windows served once to a whole cohort — the amortized unit of Equation 1"},
+	{"dualsim_shared_pages_total", "pages attributed to riders (page count x riders): logical consumption of the shared sweep"},
+	{"dualsim_sweep_pages_read_total", "physical reads owned by shared sweeps; with pages_read_total, closes the attribution ledger"},
 }
 
 func noteFor(name string) string {

@@ -35,9 +35,10 @@ type Checkpoint struct {
 	// Windows is the number of level-1 windows completed before the
 	// cursor.
 	Windows int `json:"windows"`
-	// Internal and External are the settled embedding counts at the
-	// boundary; a resumed run starts its totals from them.
+	// Internal is the settled internal-embedding count at the boundary; a
+	// resumed run starts its totals from it.
 	Internal uint64 `json:"internal"`
+	// External is the settled external-embedding count at the boundary.
 	External uint64 `json:"external"`
 }
 

@@ -50,6 +50,13 @@ type Scope struct {
 	Checkpoints    atomic.Uint64
 	EmbInternal    atomic.Uint64 // embeddings found in internal areas
 	EmbExternal    atomic.Uint64 // embeddings found across windows
+
+	// SharedPages counts pages of shared sweep windows this query consumed
+	// as a cohort rider. The physical reads behind them are charged to the
+	// sweep's scope (PagesRead here stays 0 for rider runs); the exactness
+	// invariant becomes sum(per-query PagesRead) + sweep PagesRead = global
+	// delta.
+	SharedPages atomic.Uint64
 }
 
 // NewScope returns a scope for one query. traceID may be empty (CLI runs
@@ -117,6 +124,11 @@ type CostProfile struct {
 
 	EmbInternal uint64 `json:"embeddings_internal"`
 	EmbExternal uint64 `json:"embeddings_external"`
+
+	// SharedPages is the shared-scan consumption of a cohort rider: pages
+	// of sweep-loaded windows it evaluated without paying their physical
+	// reads (those are the sweep's PagesRead).
+	SharedPages uint64 `json:"shared_pages,omitempty"`
 }
 
 // Profile snapshots the scope's counters. The caller fills in the time
@@ -144,6 +156,7 @@ func (s *Scope) Profile() CostProfile {
 		Checkpoints:     s.Checkpoints.Load(),
 		EmbInternal:     s.EmbInternal.Load(),
 		EmbExternal:     s.EmbExternal.Load(),
+		SharedPages:     s.SharedPages.Load(),
 	}
 }
 
@@ -166,6 +179,9 @@ func (p *CostProfile) WriteReport(w io.Writer) {
 	}
 	fmt.Fprintf(w, "pages read       %d  (logical %d, hits %d = %.1f%%)\n",
 		p.PagesRead, p.LogicalReads, p.BufferHits, hitPct)
+	if p.SharedPages > 0 {
+		fmt.Fprintf(w, "shared pages     %d  (sweep-owned reads)\n", p.SharedPages)
+	}
 	if p.CoalescedRuns > 0 {
 		fmt.Fprintf(w, "coalesced runs   %d covering %d pages\n", p.CoalescedRuns, p.CoalescedPages)
 	}

@@ -22,10 +22,20 @@ type Cache struct {
 	cap     int
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used
+	flight  map[string]*flightCall
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+	shared    atomic.Uint64
+}
+
+// flightCall tracks one in-progress plan build; concurrent misses on the
+// same key wait on done instead of building their own copy.
+type flightCall struct {
+	done chan struct{}
+	plan *Plan
+	err  error
 }
 
 type cacheEntry struct {
@@ -38,7 +48,51 @@ func NewCache(capacity int) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{cap: capacity, entries: make(map[string]*list.Element), lru: list.New()}
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		flight:  make(map[string]*flightCall),
+	}
+}
+
+// GetOrBuild returns the cached plan for key, or builds it with build and
+// caches the result. Concurrent calls for the same key are collapsed into
+// one build (singleflight): the first caller runs build, the rest block on
+// its outcome. The bool reports whether THIS caller ran build (false for
+// cache hits and flight waiters). A failed build is not cached — waiters
+// receive the error and the next call retries. build runs without the
+// cache lock held, so distinct keys build in parallel.
+func (c *Cache) GetOrBuild(key string, build func() (*Plan, error)) (*Plan, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits.Add(1)
+		c.mu.Unlock()
+		return el.Value.(*cacheEntry).plan, false, nil
+	}
+	if fc, ok := c.flight[key]; ok {
+		c.shared.Add(1)
+		c.mu.Unlock()
+		<-fc.done
+		return fc.plan, false, fc.err
+	}
+	c.misses.Add(1)
+	fc := &flightCall{done: make(chan struct{})}
+	c.flight[key] = fc
+	c.mu.Unlock()
+
+	fc.plan, fc.err = build()
+	close(fc.done)
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	c.mu.Unlock()
+	if fc.err != nil {
+		return nil, true, fc.err
+	}
+	c.Put(key, fc.plan)
+	return fc.plan, true, nil
 }
 
 // Get returns the cached plan for key, marking it most recently used.
@@ -86,8 +140,11 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	Size      int    `json:"size"`
-	Capacity  int    `json:"capacity"`
+	// Shared counts lookups that piggybacked on another caller's
+	// in-flight build instead of running Prepare themselves.
+	Shared   uint64 `json:"shared"`
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
 }
 
 // Stats returns the cache's counters.
@@ -96,6 +153,7 @@ func (c *Cache) Stats() CacheStats {
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
+		Shared:    c.shared.Load(),
 		Size:      c.Len(),
 		Capacity:  c.cap,
 	}
@@ -107,6 +165,8 @@ func (c *Cache) Register(reg *obs.Registry) {
 	reg.CounterFunc("dualsim_plan_cache_hits_total", "plan cache lookups that skipped Prepare", c.hits.Load)
 	reg.CounterFunc("dualsim_plan_cache_misses_total", "plan cache lookups that ran Prepare", c.misses.Load)
 	reg.CounterFunc("dualsim_plan_cache_evictions_total", "plans evicted by the LRU bound", c.evictions.Load)
+	reg.CounterFunc("dualsim_plan_cache_shared_builds_total",
+		"plan lookups that joined another caller's in-flight Prepare (singleflight)", c.shared.Load)
 	reg.GaugeFunc("dualsim_plan_cache_size", "plans currently cached", func() float64 {
 		return float64(c.Len())
 	})

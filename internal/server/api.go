@@ -15,6 +15,7 @@ import (
 	"dualsim/internal/graph"
 	"dualsim/internal/obs"
 	"dualsim/internal/plan"
+	"dualsim/internal/sharedscan"
 	"dualsim/internal/storage"
 )
 
@@ -59,6 +60,11 @@ type QueryResponse struct {
 	// WindowRetries counts whole-window retries the run absorbed
 	// (transient faults that outlived the read-level retry budget).
 	WindowRetries uint64 `json:"window_retries,omitempty"`
+	// SharedPages is nonzero when the query ran as a shared-scan cohort
+	// rider: pages of sweep-loaded windows it consumed without paying
+	// their physical reads (PhysicalReads covers the whole pool; the
+	// rider's own attributed pages_read is 0 — the sweep owns the I/O).
+	SharedPages uint64 `json:"shared_pages,omitempty"`
 	// ResumeToken is set on a truncated embeddings trailer: resubmitting
 	// the query with it continues from the last completed window instead
 	// of restarting. Rows from the partially-streamed window are replayed
@@ -221,31 +227,52 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resumedFrom = payload.Trace
 	}
 
-	// Admission: bounded queue, bounded wait, per-request deadline.
-	queueWait := s.cfg.QueueWait
-	if req.QueueWaitMS > 0 {
-		if d := time.Duration(req.QueueWaitMS) * time.Millisecond; d < queueWait {
-			queueWait = d
+	// Admission. Cohort-eligible queries (ShareScan on, no resume token)
+	// bypass the solo pool: their concurrency is bounded by the cohort —
+	// CohortMaxRiders riding plus QueueDepth boarding — rather than an
+	// engine slot, so N compatible queries share one sweep instead of
+	// serializing onto the solo engines' divided buffers. Boarding delay
+	// is bounded by the sweep's window cadence and the run context, not
+	// the queue-wait deadline. Everything else takes the solo path:
+	// bounded queue, bounded wait, per-request deadline.
+	useCohort := s.sched != nil && resume == nil
+	var eng *core.Engine // nil while riding the shared sweep
+	var queueNS int64
+	if useCohort {
+		if int(s.cohortInflight.Add(1)) > s.cfg.CohortMaxRiders+s.cfg.QueueDepth {
+			s.cohortInflight.Add(-1)
+			s.sm.rejectedFull.Inc()
+			s.reject(w, "cohort queue full")
+			return
 		}
-	}
-	waitCtx, cancelWait := context.WithTimeout(r.Context(), queueWait)
-	queueStart := time.Now()
-	eng, err := s.acquire(waitCtx)
-	cancelWait()
-	if err != nil {
-		switch {
-		case errors.Is(err, errQueueFull):
-			s.reject(w, "admission queue full")
-		case errors.Is(err, context.DeadlineExceeded):
-			s.sm.rejectedWait.Inc()
-			s.reject(w, fmt.Sprintf("no engine free within %v", queueWait))
-		default: // client gave up while queued
-			s.sm.disconnects.Inc()
+		defer s.cohortInflight.Add(-1)
+	} else {
+		queueWait := s.cfg.QueueWait
+		if req.QueueWaitMS > 0 {
+			if d := time.Duration(req.QueueWaitMS) * time.Millisecond; d < queueWait {
+				queueWait = d
+			}
 		}
-		return
+		waitCtx, cancelWait := context.WithTimeout(r.Context(), queueWait)
+		queueStart := time.Now()
+		var aerr error
+		eng, aerr = s.acquire(waitCtx)
+		cancelWait()
+		if aerr != nil {
+			switch {
+			case errors.Is(aerr, errQueueFull):
+				s.reject(w, "admission queue full")
+			case errors.Is(aerr, context.DeadlineExceeded):
+				s.sm.rejectedWait.Inc()
+				s.reject(w, fmt.Sprintf("no engine free within %v", queueWait))
+			default: // client gave up while queued
+				s.sm.disconnects.Inc()
+			}
+			return
+		}
+		queueNS = time.Since(queueStart).Nanoseconds()
+		defer s.release(eng)
 	}
-	queueNS := time.Since(queueStart).Nanoseconds()
-	defer s.release(eng)
 	s.sm.active.Add(1)
 	defer s.sm.active.Add(-1)
 
@@ -266,6 +293,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// from the buffer pool is worth more as demand-fetch frames.
 	spec := core.RunSpec{Plan: p, Resume: resume, DisablePrefetch: s.br.shedding(), Scope: scope}
 
+	// run executes the spec: solo on the acquired engine, or as a cohort
+	// rider. A bounced rider (ErrNotEligible — the plan is too deep for
+	// the rider frame share, or the scheduler is closing) falls back to a
+	// late solo admission so the client never sees an eligibility error.
+	run := func(ctx context.Context, sp core.RunSpec) (*core.Result, error) {
+		if eng != nil {
+			return eng.RunSpecContext(ctx, sp)
+		}
+		res, err := s.sched.Run(ctx, sp)
+		if err != nil && errors.Is(err, sharedscan.ErrNotEligible) {
+			s.sm.cohortFallbacks.Inc()
+			solo, aerr := s.acquire(ctx)
+			if aerr != nil {
+				return nil, aerr
+			}
+			defer s.release(solo)
+			return solo.RunSpecContext(ctx, sp)
+		}
+		return res, err
+	}
+
 	attr := queryAttribution{
 		traceID:     traceID,
 		scope:       scope,
@@ -277,7 +325,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !streaming {
-		res, err := eng.RunSpecContext(runCtx, spec)
+		res, err := run(runCtx, spec)
 		probeArmed = false
 		s.recordRunOutcome(res, err, probe)
 		s.accountResume(resume, err)
@@ -299,6 +347,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			PhysicalReads:    res.IO.PhysicalReads,
 			Resumed:          res.Resumed,
 			WindowRetries:    res.WindowRetries,
+			SharedPages:      scope.SharedPages.Load(),
 			TraceID:          traceID,
 			ResumedFromTrace: resumedFrom,
 			Profile:          attr.profile(res.Profile),
@@ -307,7 +356,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	probeArmed = false // streamEmbeddings settles the probe
-	s.streamEmbeddings(w, r, req, q, p, perm, planKey, cached, spec, probe, eng, runCtx, cancelRun, attr)
+	s.streamEmbeddings(w, r, req, q, perm, planKey, cached, spec, probe, run, runCtx, cancelRun, attr)
 }
 
 // queryAttribution bundles the per-request observability state threaded
@@ -414,9 +463,10 @@ func (s *Server) accountResume(resume *core.Checkpoint, err error) {
 // (or losing the client) cancels the run through its context, which
 // releases every buffer pin and returns the engine clean.
 func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req QueryRequest,
-	q *graph.Query, p *plan.Plan, perm []int, planKey string, cached bool,
+	q *graph.Query, perm []int, planKey string, cached bool,
 	spec core.RunSpec, probe bool,
-	eng *core.Engine, runCtx context.Context, cancelRun context.CancelFunc, attr queryAttribution) {
+	run func(context.Context, core.RunSpec) (*core.Result, error),
+	runCtx context.Context, cancelRun context.CancelFunc, attr queryAttribution) {
 
 	queueNS := attr.queueNS
 	limit := s.cfg.RowLimit
@@ -497,7 +547,7 @@ func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req Qu
 		}
 	}
 
-	res, err := eng.RunSpecContext(runCtx, spec)
+	res, err := run(runCtx, spec)
 	s.recordRunOutcome(res, err, probe)
 	s.accountResume(spec.Resume, err)
 	mu.Lock()
@@ -519,6 +569,7 @@ func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req Qu
 			PhysicalReads:    res.IO.PhysicalReads,
 			Resumed:          res.Resumed,
 			WindowRetries:    res.WindowRetries,
+			SharedPages:      attr.scope.SharedPages.Load(),
 			TraceID:          attr.traceID,
 			ResumedFromTrace: attr.resumedFrom,
 			Profile:          attr.profile(res.Profile),
@@ -628,6 +679,10 @@ type StatsResponse struct {
 	// Slow-query log summary: counts plus the heaviest queries by
 	// attributed pages read. The full recent ring is at GET /debug/slowlog.
 	SlowLog obs.SlowLogSnapshot `json:"slow_log"`
+	// ShareScan reports whether shared-scan cohort execution is enabled;
+	// Cohort carries the live cohort counters when it is.
+	ShareScan bool              `json:"share_scan"`
+	Cohort    *sharedscan.Stats `json:"cohort,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -651,6 +706,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	buildVersion, buildCommit := buildinfo.Info()
 	slowSummary := s.slowlog.Snapshot()
 	slowSummary.Recent = nil // summary only; ring served by /debug/slowlog
+	var cohort *sharedscan.Stats
+	if s.sched != nil {
+		st := s.sched.Stats()
+		cohort = &st
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Vertices:       s.db.NumVertices(),
 		Edges:          s.db.NumEdges(),
@@ -683,6 +743,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		BuildVersion:     buildVersion,
 		BuildCommit:      buildCommit,
 		SlowLog:          slowSummary,
+		ShareScan:        s.sched != nil,
+		Cohort:           cohort,
 	})
 }
 

@@ -31,6 +31,7 @@ import (
 	"dualsim/internal/graph"
 	"dualsim/internal/obs"
 	"dualsim/internal/plan"
+	"dualsim/internal/sharedscan"
 )
 
 // maxCanonicalVertices bounds plan-cache participation: the canonical-code
@@ -98,6 +99,19 @@ type Config struct {
 	// final spans of in-flight queries are never lost. Ignored when
 	// Engine.Tracer is set explicitly.
 	TraceWriter io.Writer
+	// ShareScan enables shared-scan multi-query execution: eligible
+	// queries (no resume token) become riders on one cohort engine whose
+	// buffer is the FULL global budget, sharing a single level-1 window
+	// sweep so N concurrent queries pay one sweep's physical reads instead
+	// of N. Ineligible or bounced queries fall back to the solo pool. This
+	// is the cohort-vs-solo policy knob.
+	ShareScan bool
+	// CohortMaxRiders bounds how many queries ride one sweep concurrently
+	// (default 4). Arrivals beyond it queue for the next window boundary.
+	CohortMaxRiders int
+	// CohortFormationWait delays a fresh sweep's first window so
+	// near-simultaneous arrivals board together (default 10ms).
+	CohortFormationWait time.Duration
 	// Engine is the per-engine template. Metrics, OnMatch and buffer sizing
 	// are managed by the server (buffer fields are reinterpreted as the
 	// global budget; Threads defaults to GOMAXPROCS/Engines).
@@ -149,6 +163,14 @@ func (c Config) withDefaults() Config {
 	if c.SlowLogTopK <= 0 {
 		c.SlowLogTopK = 8
 	}
+	if c.CohortMaxRiders <= 0 {
+		c.CohortMaxRiders = 4
+	}
+	if c.CohortFormationWait == 0 {
+		c.CohortFormationWait = 10 * time.Millisecond
+	} else if c.CohortFormationWait < 0 {
+		c.CohortFormationWait = 0
+	}
 	if c.Engine.Threads <= 0 {
 		c.Engine.Threads = runtime.GOMAXPROCS(0) / c.Engines
 		if c.Engine.Threads < 1 {
@@ -173,6 +195,13 @@ type Server struct {
 	engines []*core.Engine // all pool members, for metric aggregation
 	slots   chan *core.Engine
 	waiters atomic.Int64
+
+	// Shared-scan cohort execution (nil unless Config.ShareScan): the
+	// cohort engine holds the FULL global buffer budget and is listed in
+	// engines (aggregate metrics, closeEngines) but never enters slots —
+	// the scheduler owns it exclusively.
+	sched          *sharedscan.Scheduler
+	cohortInflight atomic.Int64
 
 	draining   atomic.Bool
 	inflight   sync.WaitGroup
@@ -239,6 +268,27 @@ func New(db core.Database, cfg Config) (*Server, error) {
 		}
 		s.engines = append(s.engines, e)
 		s.slots <- e
+	}
+	if cfg.ShareScan {
+		// The cohort engine is "one big buffer, N riders": the undivided
+		// global budget and the full thread allowance, so a cohort has the
+		// same resources N solo engines would have had combined.
+		opts := cfg.Engine
+		opts.Metrics = reg
+		opts.OnMatch = nil
+		opts.Threads = cfg.Engine.Threads * cfg.Engines
+		ce, err := core.NewEngine(db, opts)
+		if err != nil {
+			baseCancel()
+			s.closeEngines()
+			return nil, fmt.Errorf("server: building cohort engine: %w", err)
+		}
+		s.engines = append(s.engines, ce)
+		s.sched = sharedscan.New(ce, sharedscan.Options{
+			MaxRiders:     cfg.CohortMaxRiders,
+			FormationWait: cfg.CohortFormationWait,
+			Metrics:       reg,
+		})
 	}
 	s.cache.Register(reg)
 	s.sm = registerServerMetrics(reg, s)
@@ -365,6 +415,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		_ = s.hsrv.Shutdown(shutCtx)
 	}
 	s.baseCancel()
+	s.closeSched()
 	s.closeEngines()
 	s.flushTracer()
 	return err
@@ -379,6 +430,7 @@ func (s *Server) Close() error {
 		_ = s.hsrv.Close()
 	}
 	s.inflight.Wait()
+	s.closeSched()
 	s.closeEngines()
 	s.flushTracer()
 	return nil
@@ -391,6 +443,15 @@ func (s *Server) Close() error {
 func (s *Server) flushTracer() {
 	if f, ok := s.trc.(obs.Flusher); ok {
 		_ = f.Flush()
+	}
+}
+
+// closeSched stops the cohort scheduler (no-op without ShareScan). Must
+// run after the in-flight barrier and before closeEngines: sweeps hold
+// buffer pins on the cohort engine until their riders detach.
+func (s *Server) closeSched() {
+	if s.sched != nil {
+		s.sched.Close()
 	}
 }
 
@@ -423,17 +484,18 @@ func (s *Server) planFor(q *graph.Query) (*plan.Plan, []int, string, bool, error
 		return nil, nil, "", false, err
 	}
 	key := fmt.Sprintf("%s|cover=%d|worst=%v", code, popts.CoverMode, popts.WorstOrder)
-	if p, ok := s.cache.Get(key); ok {
-		return p, perm, key, true, nil
-	}
 	// Prepare on the canonical representative, so every isomorphic query
 	// maps onto the same plan and the same embedding remapping rule.
-	p, err := plan.Prepare(canon, popts)
+	// GetOrBuild collapses concurrent misses on one key into a single
+	// Prepare (singleflight) — under shared-scan admission batches, N
+	// arrivals of the same query cost one plan build, not N.
+	p, built, err := s.cache.GetOrBuild(key, func() (*plan.Plan, error) {
+		return plan.Prepare(canon, popts)
+	})
 	if err != nil {
 		return nil, nil, "", false, err
 	}
-	s.cache.Put(key, p)
-	return p, perm, key, false, nil
+	return p, perm, key, !built, nil
 }
 
 func identityPerm(n int) []int {
@@ -515,6 +577,7 @@ type serverMetrics struct {
 	breakerRejects  *obs.Counter
 	resumesOK       *obs.Counter
 	resumesRejected *obs.Counter
+	cohortFallbacks *obs.Counter
 }
 
 func registerServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
@@ -531,6 +594,7 @@ func registerServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		breakerRejects:  reg.Counter("dualsim_server_breaker_rejected_total", "requests rejected fast with 429 by the open circuit breaker"),
 		resumesOK:       reg.Counter("dualsim_resumes_ok_total", "resume tokens accepted and replayed"),
 		resumesRejected: reg.Counter("dualsim_resumes_rejected_total", "resume tokens rejected (bad signature, wrong plan, stale checkpoint)"),
+		cohortFallbacks: reg.Counter("dualsim_server_cohort_fallbacks_total", "cohort-routed queries bounced to a solo engine (rider not eligible)"),
 	}
 	reg.CounterFunc("dualsim_server_rejected_total", "requests rejected with 429 (queue full + deadline)", func() uint64 {
 		return sm.rejectedFull.Value() + sm.rejectedWait.Value()

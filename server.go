@@ -73,6 +73,21 @@ type ServerConfig struct {
 	// heaviest-by-pages-read leaderboard (default 8).
 	SlowLogSize int
 	SlowLogTopK int
+	// ShareScan enables shared-scan execution: instead of "N small buffers"
+	// (one engine per query, budget split N ways), compatible concurrent
+	// queries board one cohort engine holding the UNDIVIDED global budget
+	// and ride a single level-1 window sweep together — each window is read
+	// once and evaluated against every rider's v-group forest. Queries the
+	// cohort cannot take (resume continuations, budgets too tight for a
+	// rider seat) fall back to the solo pool transparently. Counts are
+	// bit-identical to solo execution either way.
+	ShareScan bool
+	// CohortMaxRiders caps riders per shared sweep (default 4).
+	CohortMaxRiders int
+	// CohortFormationWait is how long a freshly formed cohort holds the
+	// doors for more riders before sweeping (default 10ms; late arrivals
+	// still board at the next window boundary).
+	CohortFormationWait time.Duration
 	// Engine is the per-engine template. Buffer sizing is reinterpreted as
 	// the global budget; Threads defaults to GOMAXPROCS divided across the
 	// pool. MetricsAddr, TraceWriter and progress options are ignored here —
@@ -106,23 +121,26 @@ type Server struct {
 // listener: call Listen, or mount Handler on a server of your own.
 func (d *DB) NewServer(cfg ServerConfig) (*Server, error) {
 	srv, err := server.New(d.db, server.Config{
-		Engines:            cfg.Engines,
-		QueueDepth:         cfg.QueueDepth,
-		QueueWait:          cfg.QueueWait,
-		RowLimit:           cfg.RowLimit,
-		PlanCacheSize:      cfg.PlanCacheSize,
-		ResumeTokenEvery:   cfg.ResumeTokenEvery,
-		BreakerWindow:      cfg.BreakerWindow,
-		BreakerMinSamples:  cfg.BreakerMinSamples,
-		BreakerShedRatio:   cfg.BreakerShedRatio,
-		BreakerOpenRatio:   cfg.BreakerOpenRatio,
-		BreakerCooldown:    cfg.BreakerCooldown,
-		BreakerPinWait:     cfg.BreakerPinWait,
-		TraceWriter:        cfg.TraceWriter,
-		SlowQueryThreshold: cfg.SlowQueryThreshold,
-		SlowLogSize:        cfg.SlowLogSize,
-		SlowLogTopK:        cfg.SlowLogTopK,
-		Engine:             cfg.Engine.coreOptions(),
+		Engines:             cfg.Engines,
+		QueueDepth:          cfg.QueueDepth,
+		QueueWait:           cfg.QueueWait,
+		RowLimit:            cfg.RowLimit,
+		PlanCacheSize:       cfg.PlanCacheSize,
+		ResumeTokenEvery:    cfg.ResumeTokenEvery,
+		BreakerWindow:       cfg.BreakerWindow,
+		BreakerMinSamples:   cfg.BreakerMinSamples,
+		BreakerShedRatio:    cfg.BreakerShedRatio,
+		BreakerOpenRatio:    cfg.BreakerOpenRatio,
+		BreakerCooldown:     cfg.BreakerCooldown,
+		BreakerPinWait:      cfg.BreakerPinWait,
+		TraceWriter:         cfg.TraceWriter,
+		SlowQueryThreshold:  cfg.SlowQueryThreshold,
+		SlowLogSize:         cfg.SlowLogSize,
+		SlowLogTopK:         cfg.SlowLogTopK,
+		ShareScan:           cfg.ShareScan,
+		CohortMaxRiders:     cfg.CohortMaxRiders,
+		CohortFormationWait: cfg.CohortFormationWait,
+		Engine:              cfg.Engine.coreOptions(),
 	})
 	if err != nil {
 		return nil, err
