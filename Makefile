@@ -29,7 +29,7 @@ fmt:
 # doubles as the paper-concept glossary, and the metrics-doc staleness
 # gate (every registered metric must be documented in docs/METRICS.md).
 lint: vet metrics-doc-check
-	$(GO) run ./cmd/lintdoc ./internal/graph ./internal/core ./internal/buffer ./internal/sharedscan
+	$(GO) run ./cmd/lintdoc ./internal/graph ./internal/core ./internal/buffer ./internal/sharedscan ./internal/storage
 
 # metrics-doc regenerates docs/METRICS.md from the live metric registry
 # (every counter/gauge/histogram the server registers, plus the paper

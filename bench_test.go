@@ -222,6 +222,43 @@ func BenchmarkIntersectSkewed(b *testing.B) { benchIntersectShape(b, 64, 65536) 
 // skew test matrix (1-vs-10^6).
 func BenchmarkIntersectExtreme(b *testing.B) { benchIntersectShape(b, 4, 1<<20) }
 
+// BenchmarkIntersectCompressed: the skewed shape (64 vs 65536) with the hub
+// list stored delta+varint compressed. "decode-then-intersect" pays a full
+// decode of the hub list before the plain adaptive kernel runs;
+// "compressed-domain" gallops over the encoded bytes via the skip table and
+// never materializes the list. Alloc counts matter as much as time here:
+// the compressed-domain path must not allocate per intersection.
+func BenchmarkIntersectCompressed(b *testing.B) {
+	small, large := benchIntersectLists(64, 65536)
+	payload, hasSkips := graph.AppendCompressed(nil, large)
+	comp, err := graph.ParseCompressed(payload, len(large), hasSkips)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]graph.VertexID, 0, len(small))
+	b.Run("decode-then-intersect", func(b *testing.B) {
+		b.ReportAllocs()
+		scratch := make([]graph.VertexID, 0, len(large))
+		for i := 0; i < b.N; i++ {
+			scratch = comp.AppendTo(scratch[:0])
+			dst = graph.IntersectSorted(small, scratch, dst)
+		}
+		if len(dst) == 0 {
+			b.Fatal("empty intersection; fixture broken")
+		}
+	})
+	b.Run("compressed-domain", func(b *testing.B) {
+		b.ReportAllocs()
+		var st graph.IntersectStats
+		for i := 0; i < b.N; i++ {
+			dst = graph.IntersectCompressed(small, comp, dst, &st)
+		}
+		if len(dst) == 0 {
+			b.Fatal("empty intersection; fixture broken")
+		}
+	})
+}
+
 // BenchmarkIntersectKWay: a 4-list ivory intersection, smallest-first
 // adaptive (arena) vs folding pairwise linear merges in given order.
 func BenchmarkIntersectKWay(b *testing.B) {
@@ -281,11 +318,33 @@ func BenchmarkWindowEnum(b *testing.B) {
 	}
 	b.Cleanup(func() { db.Close() })
 
-	run := func(b *testing.B, opts core.Options) {
+	// The same fixture stored delta+varint compressed with skip tables —
+	// the tentpole comparison. bytes/edge comes from a full file scan
+	// (storage.FileStats.AdjBytes) and is attached to every variant's row
+	// so the book can derive the plain→compressed reduction.
+	cpath := filepath.Join(dir, "hubs-c.db")
+	if _, err := storage.BuildFromGraph(cpath, g, storage.BuildOptions{PageSize: 4096, TempDir: dir, Compress: true}); err != nil {
+		b.Fatal(err)
+	}
+	cdb, err := storage.Open(cpath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cdb.Close() })
+	bytesPerEdge := func(d *storage.DB) float64 {
+		st, err := d.Stats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(st.AdjBytes) / float64(d.NumEdges())
+	}
+	plainBPE, compBPE := bytesPerEdge(db), bytesPerEdge(cdb)
+
+	runOn := func(b *testing.B, d *storage.DB, bpe float64, opts core.Options) {
 		b.Helper()
 		opts.Threads = 4
 		opts.BufferFraction = 1.0
-		eng, err := core.NewEngine(db, opts)
+		eng, err := core.NewEngine(d, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -295,6 +354,7 @@ func BenchmarkWindowEnum(b *testing.B) {
 		if _, err := eng.Run(graph.Clique4()); err != nil {
 			b.Fatal(err)
 		}
+		var windows int
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res, err := eng.Run(graph.Clique4())
@@ -304,7 +364,18 @@ func BenchmarkWindowEnum(b *testing.B) {
 			if res.Count == 0 {
 				b.Fatal("suspicious zero count")
 			}
+			windows = 0
+			for _, w := range res.WindowsPerLevel {
+				windows += w
+			}
 		}
+		b.StopTimer()
+		b.ReportMetric(bpe, "bytes/edge")
+		b.ReportMetric(float64(windows), "windows/run")
+	}
+	run := func(b *testing.B, opts core.Options) {
+		b.Helper()
+		runOn(b, db, plainBPE, opts)
 	}
 	b.Run("seed", func(b *testing.B) {
 		run(b, core.Options{LinearOnlyIntersect: true, StaticPartition: true})
@@ -317,6 +388,19 @@ func BenchmarkWindowEnum(b *testing.B) {
 	})
 	b.Run("stealing-only", func(b *testing.B) {
 		run(b, core.Options{LinearOnlyIntersect: true})
+	})
+	// Compressed-storage variants on the identical fixture: "compressed" is
+	// the default engine over the compressed database (last-level windows
+	// keep encoded spans and the compressed-domain kernels consume them in
+	// place); "compressed-eager" ablates the kernels by decoding every
+	// record at window-load time, isolating the storage win from the
+	// compute win. Counts are bit-identical across all four storage/kernel
+	// combinations (asserted by TestAdaptiveMatchesSeedCounts).
+	b.Run("compressed", func(b *testing.B) {
+		runOn(b, cdb, compBPE, core.Options{})
+	})
+	b.Run("compressed-eager", func(b *testing.B) {
+		runOn(b, cdb, compBPE, core.Options{EagerDecode: true})
 	})
 	// Attribution overhead: the full default engine with per-query cost
 	// attribution on (every hot-path counter also lands in an obs.Scope).

@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	dualsim build  -edges edges.txt -db graph.db [-pagesize 4096]
+//	dualsim build  -edges edges.txt -db graph.db [-pagesize 4096] [-compress]
 //	dualsim run    -db graph.db -q q1 [-threads 4] [-buffer 0.15] [-timeout 30s] [-print]
-//	               [-json] [-profile] [-metrics-addr :8080] [-trace events.jsonl] [-progress 1s]
+//	               [-json] [-profile] [-eager-decode] [-metrics-addr :8080] [-trace events.jsonl] [-progress 1s]
 //	dualsim serve  -db graph.db -addr :8372 [-engines 4] [-queue 16] [-row-limit 100000]
 //	               [-trace spans.jsonl] [-slow-query 500ms]
 //	dualsim stats  -db graph.db
@@ -111,9 +111,9 @@ func usage() { usageTo(os.Stderr) }
 
 func usageTo(w io.Writer) {
 	fmt.Fprintln(w, `usage:
-  dualsim build  -edges <edges.txt> -db <graph.db> [-pagesize N]
+  dualsim build  -edges <edges.txt> -db <graph.db> [-pagesize N] [-compress]
   dualsim run    -db <graph.db> -q <q1..q5|edge list> [-threads N] [-buffer F] [-frames N] [-prefetch N] [-timeout D]
-                 [-retries N] [-print] [-json] [-profile] [-metrics-addr :8080] [-trace events.jsonl] [-progress 1s]
+                 [-retries N] [-print] [-json] [-profile] [-eager-decode] [-metrics-addr :8080] [-trace events.jsonl] [-progress 1s]
   dualsim serve  -db <graph.db> [-addr :8372] [-engines N] [-queue N] [-queue-wait D] [-row-limit N]
                  [-plan-cache N] [-buffer F] [-frames N] [-prefetch N] [-threads N] [-drain-timeout D]
                  [-trace spans.jsonl] [-slow-query D] [-slowlog-size N] [-slowlog-top N]
@@ -132,11 +132,12 @@ func cmdBuild(args []string) error {
 	edges := fs.String("edges", "", "edge-list text file (u v per line)")
 	db := fs.String("db", "", "output database path")
 	pageSize := fs.Int("pagesize", 4096, "page size in bytes")
+	compress := fs.Bool("compress", false, "store adjacency lists delta+varint compressed (with skip pointers)")
 	fs.Parse(args)
 	if *edges == "" || *db == "" {
 		return fmt.Errorf("build: -edges and -db are required")
 	}
-	stats, err := dualsim.BuildFromEdgeFile(*db, *edges, dualsim.BuildOptions{PageSize: *pageSize})
+	stats, err := dualsim.BuildFromEdgeFile(*db, *edges, dualsim.BuildOptions{PageSize: *pageSize, Compress: *compress})
 	if err != nil {
 		return err
 	}
@@ -160,6 +161,7 @@ func cmdQuery(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	retries := fs.Int("retries", 0, "retry transient read failures up to N times (0 = no retry layer)")
 	windowRetries := fs.Int("window-retries", 0, "reload a window up to N times when a transient fault outlives -retries (0 = off)")
+	eagerDecode := fs.Bool("eager-decode", false, "decode compressed adjacency at page-parse time instead of running the compressed-domain kernels (ablation)")
 	print := fs.Bool("print", false, "print each embedding")
 	profile := fs.Bool("profile", false, "attribute costs to the run and print a per-query cost profile")
 	jsonOut := fs.Bool("json", false, "emit the result and metrics snapshot as one JSON object on stdout")
@@ -186,6 +188,7 @@ func cmdQuery(args []string) error {
 		PrefetchFrames:   *prefetch,
 		Timeout:          *timeout,
 		WindowRetries:    *windowRetries,
+		EagerDecode:      *eagerDecode,
 		MetricsAddr:      *metricsAddr,
 		Profile:          *profile,
 		ProgressInterval: *progress,

@@ -286,6 +286,11 @@ type Options struct {
 	// WorstOrder picks the Cartesian-maximizing global matching order
 	// (ablation).
 	WorstOrder bool
+	// EagerDecode decodes every compressed adjacency record at page-parse
+	// time instead of keeping zero-copy compressed spans for the
+	// compressed-domain intersection kernels (the default). Counts are
+	// identical either way; this is the decode-then-intersect ablation.
+	EagerDecode bool
 	// PerPageLatency and SeekLatency simulate device characteristics for
 	// experiments.
 	PerPageLatency time.Duration
@@ -353,6 +358,7 @@ func (o Options) coreOptions() core.Options {
 		CoverMode:             mode,
 		EqualAllocation:       o.EqualAllocation,
 		WorstOrder:            o.WorstOrder,
+		EagerDecode:           o.EagerDecode,
 		PerPageLatency:        o.PerPageLatency,
 		SeekLatency:           o.SeekLatency,
 		Timeout:               o.Timeout,

@@ -60,6 +60,13 @@ type Options struct {
 	// Longer AsyncReadRunContext runs are split so a single run cannot
 	// monopolize an I/O worker while the others sit idle.
 	MaxRun int
+	// LazyParse parses pages with storage.ParsePageLazy: records stored
+	// compressed keep zero-copy payload views (Record.Comp) aliasing the
+	// frame buffer instead of decoding, so the compressed-domain kernels
+	// can operate on them in place. A lazily parsed page is valid only
+	// while its frame stays pinned — exactly the pin discipline the engine
+	// already follows for every page it touches.
+	LazyParse bool
 }
 
 // Stats counts buffer activity. Retrieved with Pool.Stats.
@@ -140,8 +147,9 @@ type Pool struct {
 	shutMu sync.RWMutex
 
 	// runBufs recycles the scratch buffers multi-page device requests read
-	// into before per-frame parsing (record payloads are copied by
-	// storage.ParsePage, so the scratch never outlives the request).
+	// into; each page image is copied into its frame's own buffer before
+	// parsing, so the scratch never outlives the request even when lazy
+	// parsing keeps zero-copy spans into the parsed buffer.
 	runBufs sync.Pool
 }
 
@@ -318,7 +326,7 @@ func (p *Pool) PinContext(ctx context.Context, pid storage.PageID) (*storage.Pag
 	if loadErr == nil {
 		loadErr = p.reader.ReadPageInto(pid, f.buf)
 		if loadErr == nil {
-			f.page, loadErr = storage.ParsePage(f.buf)
+			f.page, loadErr = p.parsePage(f.buf)
 		}
 		p.physical.Add(1)
 		if sc != nil {
@@ -666,7 +674,12 @@ func (p *Pool) readStretch(ctx context.Context, first storage.PageID, slots []ru
 		} else {
 			for i := range slots {
 				f := &p.frames[slots[i].idx]
-				f.page, f.err = storage.ParsePage(buf[i*ps : (i+1)*ps])
+				// Copy the page image into the frame's own buffer before
+				// parsing: the run scratch is recycled via putRunBuf, so a
+				// lazily parsed page's zero-copy spans must alias frame
+				// memory, never the scratch.
+				copy(f.buf, buf[i*ps:(i+1)*ps])
+				f.page, f.err = p.parsePage(f.buf)
 				p.physical.Add(1)
 				close(f.ready)
 			}
@@ -690,7 +703,7 @@ func (p *Pool) readStretch(ctx context.Context, first storage.PageID, slots []ru
 		f := &p.frames[slots[i].idx]
 		rerr := p.reader.ReadPageInto(first+storage.PageID(i), f.buf)
 		if rerr == nil {
-			f.page, rerr = storage.ParsePage(f.buf)
+			f.page, rerr = p.parsePage(f.buf)
 		}
 		f.err = rerr
 		p.physical.Add(1)
@@ -701,8 +714,20 @@ func (p *Pool) readStretch(ctx context.Context, first storage.PageID, slots []ru
 	}
 }
 
+// parsePage parses a page image that is owned by a frame buffer, honoring
+// the pool's LazyParse option. Lazy pages keep zero-copy compressed spans
+// into that buffer, so callers must only pass frame-owned memory.
+func (p *Pool) parsePage(buf []byte) (*storage.Page, error) {
+	if p.opts.LazyParse {
+		return storage.ParsePageLazy(buf)
+	}
+	return storage.ParsePage(buf)
+}
+
 // takeRunBuf returns a scratch buffer of exactly size bytes, recycled via
-// runBufs when a previous request's buffer is large enough.
+// runBufs when a previous request's buffer is large enough. Page images are
+// always copied out of the scratch into frame buffers before parsing, so
+// the scratch never outlives the request.
 func (p *Pool) takeRunBuf(size int) []byte {
 	if b, ok := p.runBufs.Get().([]byte); ok && cap(b) >= size {
 		return b[:size]

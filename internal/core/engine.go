@@ -46,6 +46,13 @@ type Options struct {
 	// engine, with no galloping, no k-way materialization, and no scratch
 	// arena. Ablation only (BenchmarkWindowEnum's seed variant).
 	LinearOnlyIntersect bool
+	// EagerDecode decodes every compressed adjacency record at page-parse
+	// time, as the pre-compression engine did, instead of keeping
+	// zero-copy compressed spans in last-level windows for the
+	// compressed-domain kernels. Counts are identical either way; the
+	// modern default (zero value) decodes at most the candidates that
+	// survive intersection. Ablation only.
+	EagerDecode bool
 	// StaticPartition disables bounded work-stealing: internal enumeration
 	// work is chunked once per window and never rebalanced, so a skewed
 	// high-degree candidate region stalls its window on one worker.
@@ -245,6 +252,7 @@ func NewEngine(db Database, opts Options) (*Engine, error) {
 		IOWorkers:      opts.IOWorkers,
 		PerPageLatency: opts.PerPageLatency,
 		SeekLatency:    opts.SeekLatency,
+		LazyParse:      !opts.EagerDecode,
 	})
 	if err != nil {
 		return nil, err
@@ -333,17 +341,28 @@ type EnumStats struct {
 	// WindowRetries counts whole-window retries absorbed after a transient
 	// fault outlived the read-level retry budget.
 	WindowRetries uint64
+	// CompressedRecords counts compressed adjacency records loaded into
+	// windows (per window load, regardless of parse mode).
+	CompressedRecords uint64
+	// CompressedBytes counts the on-disk payload bytes of those records.
+	CompressedBytes uint64
+	// SkipSeeks counts skip-table block jumps taken by compressed-domain
+	// galloping (CompCursor.SeekGE).
+	SkipSeeks uint64
 }
 
 // EnumStats returns the engine's cumulative enumeration counters.
 func (e *Engine) EnumStats() EnumStats {
 	return EnumStats{
-		IOWaitNanos:      e.em.ioWaitNanos.Value(),
-		PrefetchIssued:   e.em.prefetchIssued.Value(),
-		PrefetchUseful:   e.em.prefetchUseful.Value(),
-		PrefetchWasted:   e.em.prefetchWasted.Value(),
-		CheckpointsTaken: e.em.checkpoints.Value(),
-		WindowRetries:    e.em.windowRetries.Value(),
+		IOWaitNanos:       e.em.ioWaitNanos.Value(),
+		PrefetchIssued:    e.em.prefetchIssued.Value(),
+		PrefetchUseful:    e.em.prefetchUseful.Value(),
+		PrefetchWasted:    e.em.prefetchWasted.Value(),
+		CheckpointsTaken:  e.em.checkpoints.Value(),
+		WindowRetries:     e.em.windowRetries.Value(),
+		CompressedRecords: e.em.compressedRecs.Value(),
+		CompressedBytes:   e.em.compressedBytes.Value(),
+		SkipSeeks:         e.em.skipSeeks.Value(),
 	}
 }
 

@@ -29,6 +29,22 @@ func buildDB(t *testing.T, g *graph.Graph, pageSize int) *storage.DB {
 	return db
 }
 
+// buildCompressedDB is buildDB with delta-varint adjacency compression on.
+func buildCompressedDB(t *testing.T, g *graph.Graph, pageSize int) *storage.DB {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.db")
+	if _, err := storage.BuildFromGraph(path, g, storage.BuildOptions{PageSize: pageSize, TempDir: dir, Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
 func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
 	edges := make([][2]graph.VertexID, 0, m)
 	for i := 0; i < m; i++ {

@@ -20,6 +20,13 @@ type matcher struct {
 	internal bool
 	lastV    graph.VertexID
 	lastAdj  []graph.VertexID
+	// lastComp is the current last-level record's compressed span when it
+	// arrived undecoded (lazy parse); lastAdj is then nil until a decoded
+	// view is actually needed, at which point it is materialized once into
+	// lastDec (memoized per record — see adjOfData). The compressed-domain
+	// descend consumes lastComp in place instead.
+	lastComp graph.CompressedAdj
+	lastDec  []graph.VertexID // reusable decode scratch for lastComp
 
 	// pageAdj, when non-nil, replaces lw.adj lookups for this task: the
 	// task started while its window was still loading (lw.sealed unset), so
@@ -27,7 +34,14 @@ type matcher struct {
 	// and must not be read. It holds the task's own page's complete
 	// records, the only lw.adj entries such a task may legitimately need
 	// (anything else it touches lives in a sealed outer-level window).
-	pageAdj map[graph.VertexID][]graph.VertexID
+	// Lazily parsed compressed records sit in pageComp instead and decode
+	// into pageAdj on first use.
+	pageAdj  map[graph.VertexID][]graph.VertexID
+	pageComp map[graph.VertexID]graph.CompressedAdj
+	// compCache memoizes on-demand decodes of the sealed window's
+	// compressed spans (lw.comp) — the rare fallthrough when a non-red
+	// match needs a last-level neighbor other than lastV.
+	compCache map[graph.VertexID][]graph.VertexID
 
 	pos2v   []graph.VertexID
 	posMask uint32 // assigned positions
@@ -93,6 +107,12 @@ func (m *matcher) flush() {
 				sc.IntersectKWay.Add(st.KWay)
 			}
 		}
+		if st.Compressed > 0 {
+			m.r.em.intersectCompressed.Add(st.Compressed)
+		}
+		if st.SkipSeeks > 0 {
+			m.r.em.skipSeeks.Add(st.SkipSeeks)
+		}
 		m.r.arenaPool.Put(m.arena)
 		m.arena = nil
 	}
@@ -106,9 +126,14 @@ func (m *matcher) adjOfPos(pos int) []graph.VertexID {
 }
 
 // adjOfData resolves the adjacency list of an assigned (hence resident)
-// data vertex.
+// data vertex, decoding compressed last-level records on demand (memoized,
+// so each record decodes at most once per task).
 func (m *matcher) adjOfData(v graph.VertexID) []graph.VertexID {
 	if !m.internal && v == m.lastV {
+		if m.lastAdj == nil && m.lastComp.Count > 0 {
+			m.lastDec = m.lastComp.AppendTo(m.lastDec[:0])
+			m.lastAdj = m.lastDec
+		}
 		return m.lastAdj
 	}
 	if m.internal {
@@ -126,9 +151,25 @@ func (m *matcher) adjOfData(v graph.VertexID) []graph.VertexID {
 		if adj, ok := m.pageAdj[v]; ok {
 			return adj
 		}
+		if c, ok := m.pageComp[v]; ok {
+			adj := c.AppendTo(nil)
+			m.pageAdj[v] = adj // memoize for the rest of the task
+			return adj
+		}
 		return nil
 	}
 	if adj, ok := m.lw.adj[v]; ok {
+		return adj
+	}
+	if c, ok := m.lw.comp[v]; ok {
+		if adj, ok := m.compCache[v]; ok {
+			return adj
+		}
+		adj := c.AppendTo(nil)
+		if m.compCache == nil {
+			m.compCache = make(map[graph.VertexID][]graph.VertexID)
+		}
+		m.compCache[v] = adj
 		return adj
 	}
 	return nil
@@ -179,22 +220,33 @@ func (r *run) extMapPage(page *storage.Page, lw *levelWindow) {
 		// The window is still loading: restrict adjacency lookups to this
 		// page's own complete records (see matcher.pageAdj). The sealed
 		// flag's release/acquire pairing makes a true load prove every
-		// lw.adj write has completed.
+		// lw.adj write has completed. Compressed records stay undecoded in
+		// pageComp until (if ever) a lookup needs them.
 		m.pageAdj = make(map[graph.VertexID][]graph.VertexID, len(page.Records))
-		for _, rec := range page.Records {
-			if !rec.Continues && !rec.Continuation {
+		for i := range page.Records {
+			rec := &page.Records[i]
+			if rec.Continues || rec.Continuation {
+				continue
+			}
+			if rec.Adj == nil && rec.CompBytes > 0 {
+				if m.pageComp == nil {
+					m.pageComp = make(map[graph.VertexID]graph.CompressedAdj)
+				}
+				m.pageComp[rec.Vertex] = rec.Comp
+			} else {
 				m.pageAdj[rec.Vertex] = rec.Adj
 			}
 		}
 	}
-	for _, rec := range page.Records {
+	for i := range page.Records {
+		rec := &page.Records[i]
 		if rec.Continues || rec.Continuation {
 			continue // handled by dispatchSplitVertices after the window loads
 		}
 		if r.ctx.Err() != nil {
 			break // cancellation: abandon the rest of the page
 		}
-		r.extMapRecord(m, rec.Vertex, rec.Adj)
+		r.extMapRecord(m, rec.Vertex, rec.Adj, rec.Comp)
 	}
 	m.flush()
 }
@@ -205,11 +257,15 @@ func (r *run) extMapVertex(v graph.VertexID, adj []graph.VertexID, lw *levelWind
 		return
 	}
 	m := r.newMatcher(lw, false)
-	r.extMapRecord(m, v, adj)
+	r.extMapRecord(m, v, adj, graph.CompressedAdj{})
 	m.flush()
 }
 
-func (r *run) extMapRecord(m *matcher, v graph.VertexID, adj []graph.VertexID) {
+// extMapRecord roots the external traversal at one last-level record. adj
+// may be nil when the record arrived as a compressed span (comp); the
+// descend then runs the compressed-domain kernel against it, and a decoded
+// view is materialized only if some deeper level asks for it (adjOfData).
+func (r *run) extMapRecord(m *matcher, v graph.VertexID, adj []graph.VertexID, comp graph.CompressedAdj) {
 	last := r.k - 1
 	pos := r.p.MatchingOrder[last]
 	for g := range r.p.Groups {
@@ -217,7 +273,7 @@ func (r *run) extMapRecord(m *matcher, v graph.VertexID, adj []graph.VertexID) {
 			continue
 		}
 		m.g = g
-		m.lastV, m.lastAdj = v, adj
+		m.lastV, m.lastAdj, m.lastComp = v, adj, comp
 		m.pos2v[pos] = v
 		m.posMask = 1 << uint(pos)
 		r.extDescend(m, last-1)
@@ -244,8 +300,13 @@ func (r *run) extDescend(m *matcher, level int) {
 
 	if m.arena != nil {
 		// U_CON lists plus the window itself form one k-way intersection.
+		// When the connected last-level record is still a compressed span
+		// (lazy parse), it becomes the kernel's compressed operand instead
+		// of a decoded list: the decoded sides fold first, and only their
+		// survivors are probed against the span via skip-pointer seeks.
 		lists := m.arena.Lists(level, r.k+1)
 		lists = append(lists, window)
+		compOperand := false
 		for p := 0; p < r.k; p++ {
 			if m.posMask&(1<<uint(p)) == 0 {
 				continue
@@ -253,7 +314,22 @@ func (r *run) extDescend(m *matcher, level int) {
 			if !vg.HasTopologyEdge(r.k, p, pos) {
 				continue
 			}
+			if m.lastAdj == nil && m.lastComp.Count > 0 && m.pos2v[p] == m.lastV {
+				compOperand = true
+				continue
+			}
 			lists = append(lists, m.adjOfPos(p))
+		}
+		if compOperand {
+			for _, v := range m.arena.IntersectKC(level, lists, m.lastComp) {
+				if !m.orderOK(pos, v) {
+					continue
+				}
+				m.assign(pos, v)
+				r.extDescend(m, level-1)
+				m.unassign(pos)
+			}
+			return
 		}
 		if len(lists) == 1 {
 			// No assigned neighbor: scan the node's whole current window.

@@ -41,42 +41,100 @@ func skewedGraph(rng *rand.Rand, n, hubs, span int) *graph.Graph {
 }
 
 // TestAdaptiveMatchesSeedCounts runs every paper query and a skewed fixture
-// through all four combinations of {adaptive, seed-kernel} x {stealing,
-// static} and requires identical counts — the engine-level cross-check that
-// the kernel rewrite and the scheduler rewrite change performance only.
+// through all combinations of {adaptive, seed-kernel} x {stealing, static}
+// x {plain, compressed database} x {compressed-domain, eager-decode} and
+// requires identical counts — the engine-level cross-check that the kernel
+// rewrite, the scheduler rewrite, and the compressed-domain path change
+// performance only.
 func TestAdaptiveMatchesSeedCounts(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	g := skewedGraph(rng, 400, 6, 120)
-	db := buildDB(t, g, 512)
 	rg, _ := graph.ReorderByDegree(g)
-	for _, q := range graph.PaperQueries() {
-		want := graph.CountOccurrences(rg, q)
-		for _, opt := range []Options{
-			{Threads: 3},
-			{Threads: 3, LinearOnlyIntersect: true},
-			{Threads: 3, StaticPartition: true},
-			{Threads: 3, LinearOnlyIntersect: true, StaticPartition: true},
-			// Prefetch dimension: speculative cross-window reads must change
-			// I/O timing only, never counts — with the default buffer and
-			// with smaller ones whose carve shrinks the foreground windows.
-			{Threads: 3, PrefetchFrames: 16},
-			{Threads: 3, PrefetchFrames: 16, BufferFrames: 96},
-			{Threads: 3, PrefetchFrames: 8, BufferFrames: 128, StaticPartition: true},
-		} {
-			e, err := NewEngine(db, opt)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got, err := e.Count(q)
-			e.Close()
-			if err != nil {
-				t.Fatalf("%s: %v", q.Name(), err)
-			}
-			if got != want {
-				t.Fatalf("%s (linearOnly=%v static=%v prefetch=%d): engine %d, brute force %d",
-					q.Name(), opt.LinearOnlyIntersect, opt.StaticPartition, opt.PrefetchFrames, got, want)
+	for _, db := range []struct {
+		name string
+		db   Database
+	}{
+		{"plain", buildDB(t, g, 512)},
+		{"compressed", buildCompressedDB(t, g, 512)},
+	} {
+		for _, q := range graph.PaperQueries() {
+			want := graph.CountOccurrences(rg, q)
+			for _, opt := range []Options{
+				{Threads: 3},
+				{Threads: 3, LinearOnlyIntersect: true},
+				{Threads: 3, StaticPartition: true},
+				{Threads: 3, LinearOnlyIntersect: true, StaticPartition: true},
+				// Decode dimension: the compressed-domain kernels and the
+				// decode-at-parse ablation must agree bit for bit, on both
+				// encodings and on the seed kernel path too.
+				{Threads: 3, EagerDecode: true},
+				{Threads: 3, EagerDecode: true, LinearOnlyIntersect: true},
+				// Prefetch dimension: speculative cross-window reads must change
+				// I/O timing only, never counts — with the default buffer and
+				// with smaller ones whose carve shrinks the foreground windows.
+				{Threads: 3, PrefetchFrames: 16},
+				{Threads: 3, PrefetchFrames: 16, BufferFrames: 96},
+				{Threads: 3, PrefetchFrames: 8, BufferFrames: 128, StaticPartition: true},
+			} {
+				e, err := NewEngine(db.db, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := e.Count(q)
+				e.Close()
+				if err != nil {
+					t.Fatalf("%s/%s: %v", db.name, q.Name(), err)
+				}
+				if got != want {
+					t.Fatalf("%s/%s (linearOnly=%v static=%v eager=%v prefetch=%d): engine %d, brute force %d",
+						db.name, q.Name(), opt.LinearOnlyIntersect, opt.StaticPartition, opt.EagerDecode, opt.PrefetchFrames, got, want)
+				}
 			}
 		}
+	}
+}
+
+// TestCompressedKernelCountersExported checks that a default run on a
+// compressed database exercises the compressed-domain path (records, bytes,
+// in-place intersections) and that the eager-decode ablation records no
+// compressed-domain kernel activity while still counting records loaded.
+func TestCompressedKernelCountersExported(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := skewedGraph(rng, 400, 6, 120)
+	db := buildCompressedDB(t, g, 512)
+
+	e, err := NewEngine(db, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(graph.Triangle())
+	e.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Metrics.Counters
+	if c["dualsim_compressed_records_total"] == 0 || c["dualsim_compressed_bytes_total"] == 0 {
+		t.Fatalf("compressed database loaded no compressed records: %v", c)
+	}
+	if c["dualsim_intersect_compressed_total"] == 0 {
+		t.Errorf("compressed-domain kernel never ran on a compressed database: %v", c)
+	}
+
+	e, err = NewEngine(db, Options{Threads: 2, EagerDecode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Run(graph.Triangle())
+	e.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = res.Metrics.Counters
+	if c["dualsim_intersect_compressed_total"] != 0 {
+		t.Errorf("eager decode still ran %d compressed-domain intersections", c["dualsim_intersect_compressed_total"])
+	}
+	if c["dualsim_compressed_records_total"] == 0 {
+		t.Errorf("eager decode stopped counting compressed records loaded: %v", c)
 	}
 }
 

@@ -306,10 +306,12 @@ func (s *Sweep) loadOnce(ctx context.Context, idx int, verts []graph.VertexID) (
 		}
 		lw.pinned[pid] = true
 		lw.loadedPages[pid] = page
-		for _, rec := range page.Records {
-			if !rec.Continues && !rec.Continuation {
-				lw.adj[rec.Vertex] = rec.Adj
-			}
+		// Sweep windows always index decoded: riders read adj structurally
+		// (child candidates, internal enumeration) from every shared window.
+		crecs, cbytes := indexPageRecords(page, lw.adj, nil, false)
+		if crecs > 0 {
+			s.e.em.compressedRecs.Add(crecs)
+			s.e.em.compressedBytes.Add(cbytes)
 		}
 	}
 	for i := 0; i < len(pages); {
@@ -349,12 +351,13 @@ func (s *Sweep) loadOnce(ctx context.Context, idx int, verts []graph.VertexID) (
 		if page == nil {
 			continue
 		}
-		for _, rec := range page.Records {
+		for i := range page.Records {
+			rec := &page.Records[i]
 			if rec.Continues || rec.Continuation {
 				if split == nil {
 					split = make(map[graph.VertexID][]graph.VertexID)
 				}
-				split[rec.Vertex] = append(split[rec.Vertex], rec.Adj...)
+				split[rec.Vertex] = appendRecord(split[rec.Vertex], rec)
 			}
 		}
 	}

@@ -18,8 +18,17 @@ type levelWindow struct {
 	// its candidate sequence falling inside the merged window.
 	verts [][]graph.VertexID
 	// adj maps each window vertex to its full adjacency list (sublists
-	// merged). Read-only once built.
+	// merged). Read-only once built. Last-level windows leave lazily
+	// parsed compressed records out of this map — they live in comp.
 	adj map[graph.VertexID][]graph.VertexID
+	// comp maps last-level window vertices whose records arrived as
+	// zero-copy compressed spans (lazy parse) to those spans: the
+	// compressed-domain kernels consume them in place, decoding at most
+	// the candidates that survive intersection. Nil for non-last levels
+	// (and under Options.EagerDecode), where adj holds everything
+	// decoded. The spans alias pinned frame buffers — valid exactly as
+	// long as the window's pins, like adj itself.
+	comp map[graph.VertexID]graph.CompressedAdj
 	// lo..hi is the merged window's vertex ID range.
 	lo, hi graph.VertexID
 	// pages are the pages the window needs (path-pin accounting covers all
@@ -539,6 +548,9 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 		pinned:      make(map[storage.PageID]bool),
 		loadedPages: make(map[storage.PageID]*storage.Page),
 	}
+	if lastLevel {
+		lw.comp = make(map[graph.VertexID]graph.CompressedAdj)
+	}
 	if len(verts) > 0 {
 		lw.lo, lw.hi = verts[0], verts[len(verts)-1]
 	}
@@ -594,12 +606,12 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 		mu.Lock()
 		lw.pinned[pid] = true
 		lw.loadedPages[pid] = page
-		for _, rec := range page.Records {
-			if !rec.Continues && !rec.Continuation {
-				lw.adj[rec.Vertex] = rec.Adj
-			}
-		}
+		crecs, cbytes := indexPageRecords(page, lw.adj, lw.comp, lastLevel)
 		mu.Unlock()
+		if crecs > 0 {
+			r.em.compressedRecs.Add(crecs)
+			r.em.compressedBytes.Add(cbytes)
+		}
 		if lastLevel {
 			// Overlap: match complete records while later pages load.
 			r.workers.submit(func() { r.extMapPage(page, lw) })
@@ -645,9 +657,55 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 	return lw, nil
 }
 
+// indexPageRecords adds a loaded page's complete records to a window's
+// adjacency index. Lazily parsed compressed records either keep their
+// zero-copy span in comp (last-level windows, where the compressed-domain
+// kernels consume them in place) or decode into a page-shared slab (every
+// other level reads adj structurally: child candidates, internal
+// enumeration, clipping). Returns the page's compressed record and payload
+// byte counts for the window-load metrics; callers hold the window lock.
+func indexPageRecords(page *storage.Page, adj map[graph.VertexID][]graph.VertexID, comp map[graph.VertexID]graph.CompressedAdj, keepCompressed bool) (crecs, cbytes uint64) {
+	var slab []graph.VertexID
+	if !keepCompressed {
+		total := 0
+		for i := range page.Records {
+			rec := &page.Records[i]
+			if rec.Adj == nil && rec.CompBytes > 0 && !rec.Continues && !rec.Continuation {
+				total += rec.Comp.Count
+			}
+		}
+		if total > 0 {
+			slab = make([]graph.VertexID, 0, total)
+		}
+	}
+	for i := range page.Records {
+		rec := &page.Records[i]
+		if rec.CompBytes > 0 {
+			crecs++
+			cbytes += uint64(rec.CompBytes)
+		}
+		if rec.Continues || rec.Continuation {
+			continue // merged after the window loads (mergeSplitRecords)
+		}
+		if rec.Adj == nil && rec.CompBytes > 0 {
+			if keepCompressed {
+				comp[rec.Vertex] = rec.Comp
+			} else {
+				start := len(slab)
+				slab = rec.Comp.AppendTo(slab)
+				adj[rec.Vertex] = slab[start:len(slab):len(slab)]
+			}
+			continue
+		}
+		adj[rec.Vertex] = rec.Adj
+	}
+	return crecs, cbytes
+}
+
 // mergeSplitRecords assembles adjacency lists that span multiple pages into
 // lw.adj. Window chopping keeps a vertex's span inside one window, so all
-// chunks are present.
+// chunks are present. Split chunks always decode — a multi-page list is
+// reassembled by concatenation, which a compressed span cannot represent.
 func (r *run) mergeSplitRecords(lw *levelWindow) {
 	var split map[graph.VertexID][]graph.VertexID
 	for _, pid := range lw.pages {
@@ -655,12 +713,13 @@ func (r *run) mergeSplitRecords(lw *levelWindow) {
 		if page == nil {
 			continue
 		}
-		for _, rec := range page.Records {
+		for i := range page.Records {
+			rec := &page.Records[i]
 			if rec.Continues || rec.Continuation {
 				if split == nil {
 					split = make(map[graph.VertexID][]graph.VertexID)
 				}
-				split[rec.Vertex] = append(split[rec.Vertex], rec.Adj...)
+				split[rec.Vertex] = appendRecord(split[rec.Vertex], rec)
 			}
 		}
 	}
@@ -671,6 +730,15 @@ func (r *run) mergeSplitRecords(lw *levelWindow) {
 		// Incomplete merges belong to vertices outside the window (their
 		// remaining chunks live on unpinned pages); they are never matched.
 	}
+}
+
+// appendRecord appends a record's adjacency entries to dst, decoding a
+// lazily parsed compressed chunk in the process.
+func appendRecord(dst []graph.VertexID, rec *storage.Record) []graph.VertexID {
+	if rec.Adj == nil && rec.CompBytes > 0 {
+		return rec.Comp.AppendTo(dst)
+	}
+	return append(dst, rec.Adj...)
 }
 
 // dispatchSplitVertices schedules last-level matching for vertices whose

@@ -133,6 +133,13 @@ type IntersectStats struct {
 	// KWay counts k-way (>= 3 list) intersections; their internal pairwise
 	// steps are also counted in Linear/Gallop.
 	KWay uint64
+	// Compressed counts intersections that consumed a compressed operand
+	// without full decode (IntersectCompressed / IntersectKC); the kernel
+	// they dispatched to is also counted in Linear/Gallop.
+	Compressed uint64
+	// SkipSeeks counts skip-table-guided cursor jumps inside compressed
+	// intersections — block decodes avoided by the skip pointers.
+	SkipSeeks uint64
 }
 
 // Add accumulates o into s.
@@ -140,6 +147,8 @@ func (s *IntersectStats) Add(o IntersectStats) {
 	s.Linear += o.Linear
 	s.Gallop += o.Gallop
 	s.KWay += o.KWay
+	s.Compressed += o.Compressed
+	s.SkipSeeks += o.SkipSeeks
 }
 
 // Arena is reusable intersection scratch for one enumeration task. Matching

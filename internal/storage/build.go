@@ -35,12 +35,18 @@ type BuildOptions struct {
 
 // BuildStats reports what the preprocessing step did.
 type BuildStats struct {
+	// NumVertices is the number of vertices written to the database.
 	NumVertices int
-	NumEdges    uint64
-	NumPages    int
-	MaxDegree   int
-	SortRuns    int
-	Elapsed     time.Duration
+	// NumEdges is the number of directed adjacency entries written.
+	NumEdges uint64
+	// NumPages is the number of fixed-size pages the adjacency occupies.
+	NumPages int
+	// MaxDegree is the largest adjacency-list length seen.
+	MaxDegree int
+	// SortRuns is the number of external-sort runs merged.
+	SortRuns int
+	// Elapsed is the wall-clock duration of the whole build.
+	Elapsed time.Duration
 }
 
 // Build preprocesses the edges of src into a DUALSIM database file at path:
@@ -338,10 +344,11 @@ func (b *dbPageWriter) writeVertex(v graph.VertexID, adj []graph.VertexID) error
 }
 
 // writeVertexCompressed is writeVertex for the delta-varint encoding:
-// chunk boundaries are computed in encoded bytes instead of entry counts.
+// chunk boundaries are computed in encoded bytes (skip table included)
+// instead of entry counts.
 func (b *dbPageWriter) writeVertexCompressed(v graph.VertexID, adj []graph.VertexID) error {
 	freshPayload := b.pageSize - pageHeaderSize - slotSize - recordHeaderSize
-	if n, _ := maxDeltaEntries(adj, freshPayload); n == len(adj) {
+	if n, _ := graph.MaxCompressedEntries(adj, freshPayload); n == len(adj) {
 		// Whole record fits in a fresh page: avoid splitting small vertices.
 		if !b.pw.AddCompressed(v, adj, false, false) {
 			if err := b.flushPage(); err != nil {
@@ -358,7 +365,7 @@ func (b *dbPageWriter) writeVertexCompressed(v graph.VertexID, adj []graph.Verte
 	first := true
 	remaining := adj
 	for {
-		take, _ := maxDeltaEntries(remaining, b.pw.FreeBytes())
+		take, _ := graph.MaxCompressedEntries(remaining, b.pw.FreeBytes())
 		if take == 0 && len(remaining) > 0 {
 			if err := b.flushPage(); err != nil {
 				return err

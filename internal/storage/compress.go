@@ -2,7 +2,6 @@ package storage
 
 import (
 	"encoding/binary"
-	"fmt"
 
 	"dualsim/internal/graph"
 )
@@ -11,84 +10,19 @@ import (
 // IDs are close together, and delta + varint encoding typically shrinks
 // them well below 4 bytes per entry — fewer pages, fewer reads. Records
 // carry flagCompressed; pages mix encodings freely, so compressed
-// databases stay readable by the same parser.
+// databases stay readable by the same parser. Lists longer than
+// graph.SkipInterval additionally carry a skip table (flagSkips) so the
+// compressed-domain kernels can gallop without full decode. The byte
+// layout is owned by the graph package (the kernels' operand format) and
+// specified in docs/STORAGE.md.
 
-// encodeDelta appends the delta-varint encoding of adj to dst: the first
-// entry as an absolute varint, each subsequent entry as the difference to
-// its predecessor (always positive in a sorted list).
-func encodeDelta(dst []byte, adj []graph.VertexID) []byte {
-	prev := uint32(0)
-	first := true
-	var tmp [binary.MaxVarintLen32]byte
-	for _, v := range adj {
-		var d uint64
-		if first {
-			d = uint64(v)
-			first = false
-		} else {
-			d = uint64(uint32(v) - prev)
-		}
-		n := binary.PutUvarint(tmp[:], d)
-		dst = append(dst, tmp[:n]...)
-		prev = uint32(v)
-	}
-	return dst
-}
-
-// decodeDelta decodes count entries from buf.
-func decodeDelta(buf []byte, count int) ([]graph.VertexID, error) {
-	out := make([]graph.VertexID, count)
-	prev := uint32(0)
-	pos := 0
-	for i := 0; i < count; i++ {
-		d, n := binary.Uvarint(buf[pos:])
-		if n <= 0 {
-			return nil, fmt.Errorf("storage: corrupt varint at entry %d", i)
-		}
-		pos += n
-		if i == 0 {
-			prev = uint32(d)
-		} else {
-			prev += uint32(d)
-		}
-		out[i] = graph.VertexID(prev)
-	}
-	if pos != len(buf) {
-		return nil, fmt.Errorf("storage: %d trailing bytes after %d entries", len(buf)-pos, count)
-	}
-	return out, nil
-}
-
-// maxDeltaEntries returns how many leading entries of adj encode into at
-// most maxBytes, and the encoded byte count. Used to split long lists at
-// page boundaries.
-func maxDeltaEntries(adj []graph.VertexID, maxBytes int) (n, bytes int) {
-	prev := uint32(0)
-	first := true
-	var tmp [binary.MaxVarintLen32]byte
-	for _, v := range adj {
-		var d uint64
-		if first {
-			d = uint64(v)
-		} else {
-			d = uint64(uint32(v) - prev)
-		}
-		sz := binary.PutUvarint(tmp[:], d)
-		if bytes+sz > maxBytes {
-			return n, bytes
-		}
-		bytes += sz
-		n++
-		prev = uint32(v)
-		first = false
-	}
-	return n, bytes
-}
-
-// AddCompressed appends a delta-varint record. It returns false without
-// modifying the page when the record does not fit.
+// AddCompressed appends a delta-varint record, prefixed by a skip table
+// when the list is longer than graph.SkipInterval (flagSkips marks the
+// difference on disk). It returns false without modifying the page when
+// the record does not fit.
 func (w *PageWriter) AddCompressed(v graph.VertexID, adj []graph.VertexID, continues, continuation bool) bool {
-	w.scratch = encodeDelta(w.scratch[:0], adj)
+	var withSkips bool
+	w.scratch, withSkips = graph.AppendCompressed(w.scratch[:0], adj)
 	need := recordHeaderSize + len(w.scratch)
 	if w.free+need+slotSize > w.slotTop {
 		return false
@@ -96,6 +30,9 @@ func (w *PageWriter) AddCompressed(v graph.VertexID, adj []graph.VertexID, conti
 	off := w.free
 	binary.LittleEndian.PutUint32(w.buf[off:], uint32(v))
 	flags := byte(flagCompressed)
+	if withSkips {
+		flags |= flagSkips
+	}
 	if continues {
 		flags |= flagContinues
 	}

@@ -11,8 +11,14 @@ import (
 )
 
 const (
-	dbMagic   = 0x42445344 // "DSDB" little endian
-	dbVersion = 2          // v2: CRC-32 page checksums
+	dbMagic = 0x42445344 // "DSDB" little endian
+	// dbVersion is the format version Build writes. v2 added CRC-32 page
+	// checksums; v3 added skip tables to compressed records (flagSkips).
+	// The change is purely additive — records self-describe via flags —
+	// so Open also accepts v2 files (minReadableVersion) and reads them
+	// bit-identically. See docs/STORAGE.md for the compatibility rules.
+	dbVersion          = 3
+	minReadableVersion = 2
 )
 
 // superblock is the fixed header stored in the first page of the file.
@@ -47,8 +53,8 @@ func readSuperblock(f *os.File) (*superblock, error) {
 	if binary.LittleEndian.Uint32(buf[0:]) != dbMagic {
 		return nil, fmt.Errorf("storage: bad magic (not a dualsim database)")
 	}
-	if v := binary.LittleEndian.Uint32(buf[4:]); v != dbVersion {
-		return nil, fmt.Errorf("storage: unsupported version %d", v)
+	if v := binary.LittleEndian.Uint32(buf[4:]); v < minReadableVersion || v > dbVersion {
+		return nil, fmt.Errorf("storage: unsupported version %d (readable: %d..%d)", v, minReadableVersion, dbVersion)
 	}
 	return &superblock{
 		pageSize:    binary.LittleEndian.Uint32(buf[8:]),
@@ -350,12 +356,23 @@ var _ io.Closer = (*DB)(nil)
 
 // FileStats summarizes the physical layout of a database.
 type FileStats struct {
-	Pages          int
-	PageSize       int
-	FillFactor     float64 // used payload bytes / available bytes
-	Records        int
-	SplitVertices  int // vertices whose adjacency spans pages
+	// Pages is the number of data pages.
+	Pages int
+	// PageSize is the page size in bytes.
+	PageSize int
+	// FillFactor is used payload bytes / available bytes.
+	FillFactor float64
+	// Records is the total record (sublist) count across all pages.
+	Records int
+	// SplitVertices counts vertices whose adjacency spans pages.
+	SplitVertices int
+	// CompressedRecs counts records stored delta-varint compressed.
 	CompressedRecs int
+	// AdjBytes is the on-disk adjacency payload: compressed records
+	// contribute their encoded size (skip table included), raw records 4
+	// bytes per entry. AdjBytes / NumEdges is the bytes/edge figure the
+	// benchmark book tracks.
+	AdjBytes int64
 }
 
 // Stats scans every page and reports layout statistics.
@@ -377,6 +394,12 @@ func (db *DB) Stats() (*FileStats, error) {
 			st.Records++
 			if r.Continues || r.Continuation {
 				split[r.Vertex] = true
+			}
+			if r.CompBytes > 0 {
+				st.CompressedRecs++
+				st.AdjBytes += int64(r.CompBytes)
+			} else {
+				st.AdjBytes += int64(4 * len(r.Adj))
 			}
 			// Slot array bytes (the record area is accounted via freeStart).
 			usedBytes += int64(slotSize)

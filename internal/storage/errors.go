@@ -28,13 +28,15 @@ type CorruptPageError struct {
 	Page PageID
 	// StoredCRC and ComputedCRC are set when the checksum mismatched;
 	// both are zero for structural corruption found after the CRC passed.
-	StoredCRC   uint32
+	StoredCRC uint32
+	// ComputedCRC is the checksum computed over the page content.
 	ComputedCRC uint32
 	// Reason describes the failure ("checksum mismatch", "slot 3 out of
 	// bounds", ...).
 	Reason string
 }
 
+// Error implements the error interface.
 func (e *CorruptPageError) Error() string {
 	if e.StoredCRC != e.ComputedCRC {
 		return fmt.Sprintf("storage: page %d corrupt: %s (stored %08x, computed %08x)",
@@ -55,6 +57,7 @@ type IOError struct {
 	Transient bool
 }
 
+// Error implements the error interface.
 func (e *IOError) Error() string {
 	kind := "permanent"
 	if e.Transient {

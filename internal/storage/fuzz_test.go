@@ -17,6 +17,9 @@ func FuzzParsePage(f *testing.F) {
 	w.Reset(2)
 	w.AddCompressed(7, []graph.VertexID{8, 1000, 1000000}, true, false)
 	f.Add(append([]byte(nil), w.Bytes()...))
+	ws := NewPageWriter(1024, 3)
+	ws.AddCompressed(9, longTestAdj(120), false, false) // skip-listed record
+	f.Add(append([]byte(nil), ws.Bytes()...))
 	f.Add(make([]byte, 256))
 	f.Add([]byte{1, 2, 3})
 
@@ -32,19 +35,76 @@ func FuzzParsePage(f *testing.F) {
 	})
 }
 
-// FuzzDecodeDelta hardens the varint decoder: arbitrary buffers and counts
-// must never panic.
+// FuzzDecodeDelta hardens the compressed-payload validator: arbitrary
+// buffers, counts, and skip-flag combinations must never panic, and an
+// accepted payload must decode to exactly count entries.
 func FuzzDecodeDelta(f *testing.F) {
-	f.Add([]byte{5, 1, 1}, 3)
-	f.Add([]byte{}, 0)
-	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80}, 1)
-	f.Fuzz(func(t *testing.T, buf []byte, count int) {
+	f.Add([]byte{5, 1, 1}, 3, false)
+	f.Add([]byte{}, 0, false)
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80}, 1, false)
+	f.Add([]byte{1, 0, 5, 1, 1}, 3, true)
+	f.Fuzz(func(t *testing.T, buf []byte, count int, skips bool) {
 		if count < 0 || count > 1<<16 {
 			return
 		}
-		adj, err := decodeDelta(buf, count)
-		if err == nil && len(adj) != count {
+		c, err := graph.ParseCompressed(buf, count, skips)
+		if err != nil {
+			return
+		}
+		if adj := c.AppendTo(nil); len(adj) != count {
 			t.Fatalf("decoded %d entries, want %d", len(adj), count)
+		}
+	})
+}
+
+// FuzzSkipRoundTrip drives the whole skip-pointer path from arbitrary
+// input: build a sorted unique list, encode it, then require that seeking
+// to any target via the skip table and draining the cursor yields exactly
+// the plain decode's tail — a skip entry that lands one element off fails
+// the comparison.
+func FuzzSkipRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint32(3))
+	f.Add(make([]byte, 300), uint32(0))
+	f.Fuzz(func(t *testing.T, raw []byte, target uint32) {
+		adj := make([]graph.VertexID, 0, len(raw))
+		prev := uint32(0)
+		for i, b := range raw {
+			prev += uint32(b)*31 + 1 // strictly ascending
+			if i%7 == 0 {
+				prev += 1 << 12 // occasional large gap: multi-byte varints
+			}
+			adj = append(adj, graph.VertexID(prev))
+		}
+		payload, withSkips := graph.AppendCompressed(nil, adj)
+		c, err := graph.ParseCompressed(payload, len(adj), withSkips)
+		if err != nil {
+			t.Fatalf("encoder output rejected: %v", err)
+		}
+		plain := c.AppendTo(nil)
+		start := 0
+		for start < len(plain) && uint32(plain[start]) < target {
+			start++
+		}
+		cu := c.Cursor()
+		got, ok := cu.SeekGE(graph.VertexID(target))
+		if start == len(plain) {
+			if ok {
+				t.Fatalf("SeekGE(%d) = %d, want end of %d-entry list", target, got, len(plain))
+			}
+			return
+		}
+		if !ok || got != plain[start] {
+			t.Fatalf("SeekGE(%d) = (%d,%v), want (%d,true)", target, got, ok, plain[start])
+		}
+		// Drain: the cursor's tail must equal the plain decode's tail.
+		for i := start; i < len(plain); i++ {
+			v, more := cu.Next()
+			if !more || v != plain[i] {
+				t.Fatalf("tail entry %d = (%d,%v), want (%d,true)", i, v, more, plain[i])
+			}
+		}
+		if _, more := cu.Next(); more {
+			t.Fatal("cursor yields entries past the end")
 		}
 	})
 }

@@ -33,10 +33,12 @@ const InvalidPage PageID = ^PageID(0)
 // Record payload:
 //
 //	vertex   uint32
-//	flags    uint8 (bit 0: continues on next page; bit 1: continuation)
+//	flags    uint8 (bit 0: continues on next page; bit 1: continuation;
+//	               bit 2: delta-varint compressed; bit 3: skip table)
 //	reserved uint8
 //	count    uint16 (adjacency entries in this sublist)
-//	entries  count × uint32
+//	payload  count × uint32 raw entries, or (for flagCompressed) the
+//	         compressed stream — see docs/STORAGE.md for the full layout
 const (
 	pageHeaderSize   = 12
 	checksumOffset   = 8
@@ -46,6 +48,7 @@ const (
 	flagContinues    = 1 << 0
 	flagContinuation = 1 << 1
 	flagCompressed   = 1 << 2
+	flagSkips        = 1 << 3 // compressed payload starts with a skip table
 )
 
 // MinPageSize is the smallest supported page size: room for the header, one
@@ -57,17 +60,51 @@ const DefaultPageSize = 4096
 
 // Record is one (vertex, adjacency sublist) entry parsed from a page.
 type Record struct {
+	// Vertex is the vertex this sublist belongs to.
 	Vertex graph.VertexID
-	Adj    []graph.VertexID
+	// Adj is the decoded adjacency sublist. Under ParsePageLazy, records
+	// stored compressed leave Adj nil and carry the raw payload in Comp;
+	// every other case (raw records, ParsePage) decodes into Adj.
+	Adj []graph.VertexID
+	// Comp is the validated zero-copy view of a compressed record's
+	// payload, set only by ParsePageLazy. Its slices alias the page
+	// buffer and are valid only as long as that buffer is.
+	Comp graph.CompressedAdj
+	// CompBytes is the on-disk payload size in bytes when the record was
+	// stored compressed, 0 for raw records. It is set in both parse
+	// modes and feeds dualsim_compressed_{records,bytes}_total.
+	CompBytes int
 	// Continues is set when the adjacency list continues on the next page.
 	Continues bool
 	// Continuation is set when this sublist continues a previous page's.
 	Continuation bool
 }
 
+// Count returns the number of adjacency entries in the sublist regardless
+// of parse mode.
+func (r *Record) Count() int {
+	if r.Adj == nil && r.CompBytes > 0 {
+		return r.Comp.Count
+	}
+	return len(r.Adj)
+}
+
+// Decoded returns the record's adjacency sublist, decoding a lazily
+// parsed compressed record by appending to dst (pass reusable scratch;
+// dst may be nil). Already-decoded records return Adj directly and
+// ignore dst.
+func (r *Record) Decoded(dst []graph.VertexID) []graph.VertexID {
+	if r.Adj == nil && r.CompBytes > 0 {
+		return r.Comp.AppendTo(dst)
+	}
+	return r.Adj
+}
+
 // Page is a parsed data page.
 type Page struct {
-	ID      PageID
+	// ID is the page's position in the file.
+	ID PageID
+	// Records are the adjacency records stored on the page, in slot order.
 	Records []Record
 }
 
@@ -169,8 +206,19 @@ func (w *PageWriter) Bytes() []byte {
 }
 
 // ParsePage decodes a page image. Adjacency slices are decoded copies and do
-// not alias buf.
-func ParsePage(buf []byte) (*Page, error) {
+// not alias buf; all records of a page share one backing slab, so parsing a
+// page costs a constant number of allocations regardless of record count.
+func ParsePage(buf []byte) (*Page, error) { return parsePage(buf, false) }
+
+// ParsePageLazy parses like ParsePage but leaves records stored compressed
+// as validated zero-copy views (Record.Comp) instead of decoding them, so
+// the compressed-domain kernels can consume the payload in place. Raw
+// records still decode into the shared slab. The returned views alias buf:
+// the caller must keep buf alive (and unmodified) for as long as the page
+// is used — in the engine, the pinned buffer-pool frame guarantees this.
+func ParsePageLazy(buf []byte) (*Page, error) { return parsePage(buf, true) }
+
+func parsePage(buf []byte, lazy bool) (*Page, error) {
 	if len(buf) < MinPageSize {
 		return nil, fmt.Errorf("storage: page buffer %d bytes, below minimum %d", len(buf), MinPageSize)
 	}
@@ -185,7 +233,10 @@ func ParsePage(buf []byte) (*Page, error) {
 	if slotBase < freeStart || freeStart < pageHeaderSize {
 		return nil, &CorruptPageError{Page: p.ID, Reason: fmt.Sprintf("corrupt header (nrec=%d freeStart=%d)", nrec, freeStart)}
 	}
-	p.Records = make([]Record, 0, nrec)
+	// Pass 1: validate slot framing and size the decode slab — entries that
+	// will materialize as []VertexID (raw always; compressed only when
+	// decoding eagerly).
+	total := 0
 	for i := 0; i < nrec; i++ {
 		slotOff := len(buf) - (i+1)*slotSize
 		off := int(binary.LittleEndian.Uint16(buf[slotOff:]))
@@ -193,29 +244,63 @@ func ParsePage(buf []byte) (*Page, error) {
 		if off+length > slotBase || off < pageHeaderSize || length < recordHeaderSize {
 			return nil, &CorruptPageError{Page: p.ID, Reason: fmt.Sprintf("slot %d out of bounds (off=%d len=%d)", i, off, length)}
 		}
+		flags := buf[off+4]
+		count := int(binary.LittleEndian.Uint16(buf[off+6:]))
+		if flags&flagCompressed == 0 {
+			if flags&flagSkips != 0 {
+				return nil, &CorruptPageError{Page: p.ID, Reason: fmt.Sprintf("slot %d: skip flag on raw record", i)}
+			}
+			if recordHeaderSize+4*count != length {
+				return nil, &CorruptPageError{Page: p.ID, Reason: fmt.Sprintf("slot %d count %d disagrees with length %d", i, count, length)}
+			}
+			total += count
+		} else {
+			// Every varint is at least one byte, so the payload bounds the
+			// entry count; checking here keeps the slab pre-allocation
+			// honest against hostile counts.
+			if count > length-recordHeaderSize {
+				return nil, &CorruptPageError{Page: p.ID, Reason: fmt.Sprintf("slot %d: %d entries claimed in a %d-byte payload", i, count, length-recordHeaderSize)}
+			}
+			if !lazy {
+				total += count
+			}
+		}
+	}
+	slab := make([]graph.VertexID, 0, total)
+	p.Records = make([]Record, 0, nrec)
+	for i := 0; i < nrec; i++ {
+		slotOff := len(buf) - (i+1)*slotSize
+		off := int(binary.LittleEndian.Uint16(buf[slotOff:]))
+		length := int(binary.LittleEndian.Uint16(buf[slotOff+2:]))
 		rec := Record{Vertex: graph.VertexID(binary.LittleEndian.Uint32(buf[off:]))}
 		flags := buf[off+4]
 		rec.Continues = flags&flagContinues != 0
 		rec.Continuation = flags&flagContinuation != 0
 		count := int(binary.LittleEndian.Uint16(buf[off+6:]))
 		if flags&flagCompressed != 0 {
-			adj, err := decodeDelta(buf[off+recordHeaderSize:off+length], count)
+			payload := buf[off+recordHeaderSize : off+length]
+			c, err := graph.ParseCompressed(payload, count, flags&flagSkips != 0)
 			if err != nil {
 				return nil, &CorruptPageError{Page: p.ID, Reason: fmt.Sprintf("slot %d: %v", i, err)}
 			}
-			rec.Adj = adj
+			rec.CompBytes = len(payload)
+			if lazy {
+				rec.Comp = c
+			} else {
+				start := len(slab)
+				slab = c.AppendTo(slab)
+				rec.Adj = slab[start:len(slab):len(slab)]
+			}
 			p.Records = append(p.Records, rec)
 			continue
 		}
-		if recordHeaderSize+4*count != length {
-			return nil, &CorruptPageError{Page: p.ID, Reason: fmt.Sprintf("slot %d count %d disagrees with length %d", i, count, length)}
-		}
-		rec.Adj = make([]graph.VertexID, count)
+		start := len(slab)
 		q := off + recordHeaderSize
 		for j := 0; j < count; j++ {
-			rec.Adj[j] = graph.VertexID(binary.LittleEndian.Uint32(buf[q:]))
+			slab = append(slab, graph.VertexID(binary.LittleEndian.Uint32(buf[q:])))
 			q += 4
 		}
+		rec.Adj = slab[start:len(slab):len(slab)]
 		p.Records = append(p.Records, rec)
 	}
 	return p, nil

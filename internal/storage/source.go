@@ -26,7 +26,9 @@ type EdgeSource interface {
 
 // SliceSource adapts an in-memory edge list to an EdgeSource.
 type SliceSource struct {
-	N     int
+	// N is the vertex count (IDs are 0..N-1).
+	N int
+	// Edges is the undirected edge list, one {u, v} pair per edge.
 	Edges [][2]graph.VertexID
 	pos   int
 }
@@ -54,6 +56,7 @@ func (s *SliceSource) NumVertices() int { return s.N }
 
 // GraphSource adapts an in-memory graph to an EdgeSource.
 type GraphSource struct {
+	// G is the in-memory graph whose edges are streamed.
 	G    *graph.Graph
 	v    int
 	next int
@@ -89,10 +92,12 @@ func (s *GraphSource) NumVertices() int { return s.G.NumVertices() }
 // ("u v" per line, '#' comments allowed). The vertex count must be supplied
 // (or discovered with ScanEdgeFile).
 type FileSource struct {
+	// Path is the edge-list file being read.
 	Path string
-	N    int
-	f    *os.File
-	sc   *bufio.Scanner
+	// N is the vertex count (IDs are 0..N-1).
+	N  int
+	f  *os.File
+	sc *bufio.Scanner
 }
 
 // NewFileSource opens path as an edge-list source over n vertices.
