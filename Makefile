@@ -29,7 +29,7 @@ fmt:
 # doubles as the paper-concept glossary, and the metrics-doc staleness
 # gate (every registered metric must be documented in docs/METRICS.md).
 lint: vet metrics-doc-check
-	$(GO) run ./cmd/lintdoc ./internal/graph ./internal/core ./internal/buffer ./internal/sharedscan ./internal/storage
+	$(GO) run ./cmd/lintdoc ./internal/graph ./internal/core ./internal/buffer ./internal/sharedscan ./internal/storage ./internal/delta
 
 # metrics-doc regenerates docs/METRICS.md from the live metric registry
 # (every counter/gauge/histogram the server registers, plus the paper
@@ -71,17 +71,19 @@ bench-book-check:
 smoke-serve:
 	./scripts/serve_smoke.sh
 
-# soak runs the seeded chaos matrix and time-boxed chaos soak under -race:
+# soak runs the seeded chaos matrix and time-boxed chaos soaks under -race:
 # mid-query transient faults, bursts, torn reads, and latency spikes are
 # injected through the server's end-to-end path, and every faulted +
-# resumed query must produce exactly the fault-free counts. Failures print
-# the offending seed; reproduce one with
+# resumed query must produce exactly the fault-free counts. The ingest soak
+# adds concurrent mutators + compactions and requires the settled counts to
+# match a from-scratch rebuild. Failures print the offending seed;
+# reproduce one with
 #   go test -race -run TestChaosSoak ./internal/server -v   (same seed base)
 # Tune the time box with SOAK_SECONDS (default 20 here).
 SOAK_SECONDS ?= 20
 soak:
 	SOAK_SECONDS=$(SOAK_SECONDS) $(GO) test -race -count=1 -v \
-		-run 'TestChaosMatrixFaultedResumeExactCounts|TestChaosSoak' \
+		-run 'TestChaosMatrixFaultedResumeExactCounts|TestChaosSoak|TestChaosIngestSoak' \
 		./internal/server
 
 clean:

@@ -118,6 +118,7 @@ func usageTo(w io.Writer) {
                  [-plan-cache N] [-buffer F] [-frames N] [-prefetch N] [-threads N] [-drain-timeout D]
                  [-trace spans.jsonl] [-slow-query D] [-slowlog-size N] [-slowlog-top N]
                  [-share-scan] [-cohort-riders N] [-cohort-wait D]
+                 [-mutable] [-compact-every N] [-compact-compress]
   dualsim -version
   dualsim stats  -db <graph.db>
   dualsim verify -db <graph.db>
@@ -278,6 +279,9 @@ func cmdServe(args []string) error {
 	shareScan := fs.Bool("share-scan", false, "share one level-1 window sweep across concurrent queries (one big buffer, N riders)")
 	cohortRiders := fs.Int("cohort-riders", 0, "max queries riding one shared sweep (0 = 4; needs -share-scan)")
 	cohortWait := fs.Duration("cohort-wait", 0, "how long a fresh cohort holds the doors for more riders (0 = 10ms)")
+	mutable := fs.Bool("mutable", false, "enable live ingest: POST /edges applies edge inserts/deletes via a delta overlay, bumping the data epoch")
+	compactEvery := fs.Int("compact-every", 0, "overlay ops that trigger a background compaction into a fresh file (0 = manual via POST /admin/compact; needs -mutable)")
+	compactCompress := fs.Bool("compact-compress", false, "store compacted files delta+varint compressed")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to let in-flight queries finish after SIGTERM")
 	fs.Parse(args)
 	if *dbPath == "" {
@@ -312,6 +316,9 @@ func cmdServe(args []string) error {
 		ShareScan:           *shareScan,
 		CohortMaxRiders:     *cohortRiders,
 		CohortFormationWait: *cohortWait,
+		Mutable:             *mutable,
+		CompactEvery:        *compactEvery,
+		CompactCompress:     *compactCompress,
 		Engine:              engOpts,
 	}
 	if *traceFile != "" {
@@ -331,7 +338,11 @@ func cmdServe(args []string) error {
 	}
 	// The bound address goes to stdout so scripts using -addr :0 can read
 	// the port back.
-	fmt.Printf("serving %s on %s (POST /query, GET /stats, GET /metrics)\n", *dbPath, srv.Addr())
+	endpoints := "POST /query, GET /stats, GET /metrics"
+	if *mutable {
+		endpoints = "POST /query, POST /edges, GET /stats, GET /metrics"
+	}
+	fmt.Printf("serving %s on %s (%s)\n", *dbPath, srv.Addr(), endpoints)
 
 	ctx, stop := runContext()
 	defer stop()

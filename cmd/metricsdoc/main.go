@@ -133,7 +133,13 @@ var paperNotes = []struct{ pattern, note string }{
 	{"dualsim_retry_*", "resilient read path recovery activity (§6b)"},
 	{"dualsim_checkpoints_taken_total", "checkpoint cadence of the failure-domain layers (§6b)"},
 	{"dualsim_window_retries_total", "whole-window recoveries absorbed without losing exactness (§6b)"},
-	{"dualsim_resumes_*", "resume-token outcomes (§6b)"},
+	{"dualsim_resumes_*", "resume-token outcomes (§6b); the stale_epoch label counts tokens invalidated by live ingest"},
+	{"dualsim_ingest_*", "live ingest: edge-mutation batches entering the delta overlay (the mutable-graph extension of §4's static layout)"},
+	{"dualsim_data_epoch", "monotone mutation clock: every query, plan, and resume token is pinned to one epoch"},
+	{"dualsim_delta_overlay_vertices", "overlay size awaiting compaction — the memory cost of mutability over the immutable base file"},
+	{"dualsim_compactions_total", "overlay folds into a fresh base file: mutability amortized back to §4's sequential layout"},
+	{"dualsim_compaction_errors_total", "failed folds (overlay retained, base file unchanged)"},
+	{"dualsim_overlay_merged_vertices_total", "window loads that merged live-ingest deltas into the adjacency before enumeration"},
 	{"dualsim_breaker_*", "pool health: 0 closed / 1 shed / 2 open / 3 half-open (§6b)"},
 	{"dualsim_slow_queries_total", "per-query attribution: completed queries at/over the slow-log threshold"},
 	{"dualsim_build_info", "build identity (version/commit labels, constant 1)"},

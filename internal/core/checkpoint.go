@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"dualsim/internal/delta"
 	"dualsim/internal/graph"
 	"dualsim/internal/obs"
 	"dualsim/internal/plan"
@@ -77,6 +78,15 @@ type RunSpec struct {
 	// ID and span hierarchy, and Result.Profile reports the rendered
 	// total. The serving layer creates one per request at HTTP admission.
 	Scope *obs.Scope
+	// Overlay, when non-nil and non-empty, runs the enumeration against
+	// the mutated graph (base page file + live-ingest delta): every
+	// window-load merges the overlay's added neighbors into the loaded
+	// adjacency and filters its tombstones out, at every level, before
+	// the window seals. The snapshot is immutable, so one run observes
+	// exactly one graph version (the snapshot's data epoch) no matter how
+	// many batches land while it executes. An empty overlay is
+	// indistinguishable from nil — the base read path runs unchanged.
+	Overlay *delta.Snapshot
 }
 
 // ResumeContext replays a run from cp: enumeration restarts at the

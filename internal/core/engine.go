@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dualsim/internal/buffer"
+	"dualsim/internal/delta"
 	"dualsim/internal/graph"
 	"dualsim/internal/obs"
 	"dualsim/internal/plan"
@@ -516,6 +517,9 @@ func (e *Engine) RunSpecContext(ctx context.Context, spec RunSpec) (*Result, err
 		scope:        scope,
 		adaptive:     !e.opts.LinearOnlyIntersect,
 	}
+	if spec.Overlay != nil && !spec.Overlay.Empty() {
+		r.overlay = spec.Overlay
+	}
 	r.levelSpan = make([]uint64, p.K)
 	r.winSpan = make([]uint64, p.K)
 	r.querySpan = r.span()
@@ -678,6 +682,12 @@ type run struct {
 	// pathPinned tracks pages pinned by the current recursion path (page ->
 	// pin count). Maintained by the orchestrating goroutine only.
 	pathPinned map[storage.PageID]int
+	// overlay is the live-ingest snapshot this run enumerates against, or
+	// nil for the pure base-file path (never non-nil-but-empty: RunSpec
+	// normalization drops empty snapshots). When set, loadWindow merges it
+	// into every window before sealing and last-level matching dispatches
+	// only after the seal, so every adjacency read sees the mutated graph.
+	overlay *delta.Snapshot
 
 	workers *workerPool
 	tracer  obs.Tracer     // nil when tracing is disabled

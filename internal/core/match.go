@@ -243,6 +243,11 @@ func (r *run) extMapPage(page *storage.Page, lw *levelWindow) {
 		if rec.Continues || rec.Continuation {
 			continue // handled by dispatchSplitVertices after the window loads
 		}
+		if r.overlay != nil && r.overlay.Of(rec.Vertex) != nil {
+			// The on-disk record predates the overlay; the merged list in
+			// lw.adj is authoritative (rooted by dispatchOverlayVertices).
+			continue
+		}
 		if r.ctx.Err() != nil {
 			break // cancellation: abandon the rest of the page
 		}

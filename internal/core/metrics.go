@@ -56,6 +56,10 @@ type engineMetrics struct {
 	// enumeration task saw the queue drained and handed off half of its
 	// remaining candidate range (each split spawns exactly one stolen task).
 	stealSplits *obs.Counter
+	// overlayVertices counts vertices whose window adjacency was merged
+	// with the live-ingest overlay (counted per window load — one vertex
+	// appearing in many windows counts once per window).
+	overlayVertices *obs.Counter
 }
 
 // registerEngineMetrics wires the engine's components into reg. The buffer
@@ -93,6 +97,8 @@ func registerEngineMetrics(reg *obs.Registry, pool *buffer.Pool, retry *storage.
 		compressedRecs:      reg.Counter("dualsim_compressed_records_total", "compressed adjacency records loaded into windows (counted per window load)"),
 		compressedBytes:     reg.Counter("dualsim_compressed_bytes_total", "on-disk bytes of compressed adjacency payloads loaded into windows"),
 		skipSeeks:           reg.Counter("dualsim_compressed_skip_seeks_total", "skip-table seeks taken by compressed-domain galloping (SeekGE block jumps)"),
+
+		overlayVertices: reg.Counter("dualsim_overlay_merged_vertices_total", "window-loaded vertices whose adjacency was merged with the live-ingest overlay"),
 	}
 	reg.CounterFunc("dualsim_embeddings_total", "embeddings found (internal + external)", func() uint64 {
 		return em.embInternal.Value() + em.embExternal.Value()

@@ -35,8 +35,10 @@ import (
 
 // ErrRiderNotEligible reports a query the shared sweep cannot carry — a
 // resume replay (the cursor needs the solo iterator to honour it from the
-// start of the range) or a plan too deep for the per-rider frame share.
-// Callers fall back to a solo engine; nothing about the query is wrong.
+// start of the range), a live-ingest overlay (the shared window loader
+// reads the base file only), or a plan too deep for the per-rider frame
+// share. Callers fall back to a solo engine; nothing about the query is
+// wrong.
 var ErrRiderNotEligible = errors.New("core: query not eligible for the shared sweep; run it solo")
 
 // WindowBounds is one level-1 window of the shared partition: vertex
@@ -510,6 +512,9 @@ func (s *Sweep) NewRider(ctx context.Context, spec RunSpec, threads int) (*Rider
 	}
 	if spec.Resume != nil {
 		return nil, fmt.Errorf("%w: checkpoint resume needs the solo level-1 iterator", ErrRiderNotEligible)
+	}
+	if spec.Overlay != nil && !spec.Overlay.Empty() {
+		return nil, fmt.Errorf("%w: live-ingest overlay needs the solo window loader", ErrRiderNotEligible)
 	}
 	if threads <= 0 {
 		threads = s.e.opts.Threads / s.maxRiders

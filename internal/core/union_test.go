@@ -100,6 +100,57 @@ func TestUnionSortedEdgeCases(t *testing.T) {
 	}
 }
 
+// TestUnionSortedOverlayCases pins the hardening the live-ingest overlay
+// relies on: empty lists anywhere in the input (a fully-tombstoned overlay
+// list merges to nothing), all-empty input, and the no-aliasing contract —
+// the result's backing array must be fresh, because overlay-merged lists
+// are retained read-only by the window that produced them.
+func TestUnionSortedOverlayCases(t *testing.T) {
+	v := func(xs ...int) []graph.VertexID {
+		out := make([]graph.VertexID, len(xs))
+		for i, x := range xs {
+			out[i] = graph.VertexID(x)
+		}
+		return out
+	}
+	cases := []struct {
+		name  string
+		lists [][]graph.VertexID
+	}{
+		{"all empty", [][]graph.VertexID{{}, nil, {}}},
+		{"one empty among two", [][]graph.VertexID{v(1, 3), nil}},
+		{"empty sandwiched", [][]graph.VertexID{v(2, 4), {}, v(1, 4, 9)}},
+		{"leading empties", [][]graph.VertexID{nil, nil, nil, v(7)}},
+		{"tombstoned to empty mid-merge", [][]graph.VertexID{v(1), {}, v(1), {}, v(2)}},
+		{"single nonempty among empties", [][]graph.VertexID{{}, v(5, 6), {}}},
+		{"odd tail after filtering", [][]graph.VertexID{v(1, 2), {}, v(2, 3), v(3, 4)}},
+		{"disjoint", [][]graph.VertexID{v(1, 2), v(10, 11), v(20)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := unionSortedSeed(tc.lists)
+			got := unionSorted(tc.lists)
+			if len(want) == 0 {
+				if len(got) != 0 {
+					t.Fatalf("got %v, want empty", got)
+				}
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("got %v, want %v", got, want)
+			}
+			// No-aliasing: the result must not share a backing array with
+			// any input (appending to the result must not clobber a list
+			// the window retains).
+			for i, l := range tc.lists {
+				if len(l) > 0 && len(got) > 0 && &got[0] == &l[0] {
+					t.Fatalf("result aliases input %d", i)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkUnionSorted compares the merge tree against the seed scan as the
 // group count grows — the seed degrades linearly in k, the tree
 // logarithmically.

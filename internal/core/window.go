@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dualsim/internal/delta"
 	"dualsim/internal/graph"
 	"dualsim/internal/obs"
 	"dualsim/internal/storage"
@@ -265,22 +266,40 @@ func (r *run) mergedCandidates(l int) []graph.VertexID {
 // list by balanced pairwise rounds (a merge tree): each element moves
 // through O(log k) two-way merges instead of being compared against every
 // list head per output element as in the seed's linear best-of-k scan —
-// O(n log k) total versus O(n·k). The inputs are not modified.
+// O(n log k) total versus O(n·k). The inputs are not modified, and the
+// result never aliases any input's backing array — overlay-merged lists
+// feed this merge and are retained read-only by the window, so an aliased
+// result could be mutated behind the window's back by a caller appending
+// to it. Empty inputs (a fully-tombstoned overlay list among them) are
+// skipped up front; all-empty input yields nil.
 func unionSorted(lists [][]graph.VertexID) []graph.VertexID {
-	switch len(lists) {
+	// Drop empty lists first: the merge tree below would carry an empty
+	// operand through every round, and a single surviving list must still
+	// be copied (not returned) to keep the no-aliasing contract.
+	nonEmpty := lists[:0:0]
+	for _, l := range lists {
+		if len(l) > 0 {
+			nonEmpty = append(nonEmpty, l)
+		}
+	}
+	switch len(nonEmpty) {
 	case 0:
 		return nil
 	case 1:
-		return lists[0]
+		return append([]graph.VertexID(nil), nonEmpty[0]...)
 	}
-	work := make([][]graph.VertexID, len(lists))
-	copy(work, lists)
+	work := make([][]graph.VertexID, len(nonEmpty))
+	copy(work, nonEmpty)
 	for len(work) > 1 {
 		next := work[: 0 : (len(work)+1)/2]
 		for i := 0; i+1 < len(work); i += 2 {
 			next = append(next, mergeUnion2(work[i], work[i+1]))
 		}
 		if len(work)%2 == 1 {
+			// The odd tail rides to the next round unmerged. It can never
+			// become the result directly: rounds shrink n to ceil(n/2), so
+			// from n >= 2 the final round always has exactly two operands
+			// and ends in a fresh mergeUnion2 allocation.
 			next = append(next, work[len(work)-1])
 		}
 		work = next
@@ -596,6 +615,12 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 		lw.verts[g] = sliceRange(r.cand[g][l].slice(r.e.all), lw.lo, lw.hi)
 	}
 
+	// With a live-ingest overlay, pre-seal dispatch is off: a record's
+	// on-disk adjacency may be stale, and the merged view exists only
+	// after applyOverlay runs under the seal. Page tasks are dispatched
+	// post-seal instead — the overlap with I/O is lost for mutated runs,
+	// the price of reading one consistent graph version.
+	eager := lastLevel && r.overlay == nil
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	onPage := func(pid storage.PageID, page *storage.Page, err error) {
@@ -612,7 +637,7 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 			r.em.compressedRecs.Add(crecs)
 			r.em.compressedBytes.Add(cbytes)
 		}
-		if lastLevel {
+		if eager {
 			// Overlap: match complete records while later pages load.
 			r.workers.submit(func() { r.extMapPage(page, lw) })
 		}
@@ -650,11 +675,93 @@ func (r *run) loadWindow(l int, verts []graph.VertexID, lastLevel bool) (*levelW
 	}
 	// Merge split adjacency lists (multi-page vertices) for window vertices.
 	r.mergeSplitRecords(lw)
+	// Fold the live-ingest overlay in: every mutated vertex indexed by this
+	// window gets its merged (base ∪ adds) \ tombstones adjacency, at every
+	// level — child candidates, internal enumeration, and descent-time
+	// lookups all read lw.adj. Runs after mergeSplitRecords (whose
+	// degree check is against the base directory) and before the seal.
+	r.applyOverlay(lw)
 	// Seal: adj is complete and read-only from here on. Already-dispatched
 	// page tasks that observed the window unsealed keep using their own
 	// page's records; everything dispatched after this point reads adj.
 	lw.sealed.Store(true)
+	if lastLevel && r.overlay != nil {
+		// The overlay suppressed pre-seal dispatch; match every page now
+		// that adj is merged and sealed. Mutated vertices are rooted
+		// separately (extMapPage skips them — their record adjacency is
+		// stale), except split vertices, which dispatchSplitVertices roots
+		// from the merged lw.adj like any other split record.
+		for _, pid := range lw.pages {
+			page := lw.loadedPages[pid]
+			if page == nil {
+				continue
+			}
+			r.workers.submit(func() { r.extMapPage(page, lw) })
+		}
+		r.dispatchOverlayVertices(lw)
+	}
 	return lw, nil
+}
+
+// applyOverlay rewrites the adjacency index of every overlay-mutated vertex
+// the window loaded: compressed spans of mutated vertices decode first
+// (a compressed operand cannot represent the merged list), then the
+// overlay applies. Vertices whose records live on the window's pages but
+// outside the vertex window are merged too — descent-time lookups resolve
+// any indexed vertex through lw.adj, and all of them must agree on the
+// graph version. No-op without an overlay.
+func (r *run) applyOverlay(lw *levelWindow) {
+	if r.overlay == nil {
+		return
+	}
+	merged := uint64(0)
+	r.overlay.Vertices(func(v graph.VertexID, _ *delta.VertexDelta) {
+		base, ok := lw.adj[v]
+		if !ok {
+			if comp, cok := lw.comp[v]; cok {
+				base = comp.AppendTo(nil)
+				delete(lw.comp, v)
+			} else {
+				return // not indexed by this window
+			}
+		}
+		lw.adj[v] = r.overlay.Apply(v, base)
+		merged++
+	})
+	if merged > 0 {
+		r.em.overlayVertices.Add(merged)
+	}
+}
+
+// dispatchOverlayVertices roots last-level matching for overlay-mutated
+// vertices with complete (single-page) records — extMapPage skipped them
+// because their on-disk record is stale. Their merged adjacency comes from
+// lw.adj; split mutated vertices are excluded (dispatchSplitVertices roots
+// those from the same merged map).
+func (r *run) dispatchOverlayVertices(lw *levelWindow) {
+	rooted := make(map[graph.VertexID]bool)
+	for _, pid := range lw.pages {
+		page := lw.loadedPages[pid]
+		if page == nil {
+			continue
+		}
+		for i := range page.Records {
+			rec := &page.Records[i]
+			if rec.Continues || rec.Continuation || rooted[rec.Vertex] {
+				continue
+			}
+			if r.overlay.Of(rec.Vertex) == nil {
+				continue
+			}
+			v := rec.Vertex
+			adj, ok := lw.adj[v]
+			if !ok {
+				continue
+			}
+			rooted[v] = true
+			r.workers.submit(func() { r.extMapVertex(v, adj, lw) })
+		}
+	}
 }
 
 // indexPageRecords adds a loaded page's complete records to a window's

@@ -1,0 +1,367 @@
+// Package delta is the live-ingest overlay: an in-memory, versioned set of
+// edge insertions and deletions layered over the write-once page file. The
+// base file stays the DUALSIM builder's external-sorted layout; mutations
+// accumulate here as per-vertex sorted add/tombstone lists, and enumeration
+// merges them with the base adjacency at window-load time. A background
+// compactor periodically folds the overlay into a fresh page file and the
+// overlay drains back toward empty.
+//
+// Concurrency model: the Store serializes writers under a mutex and
+// publishes an immutable Snapshot behind an atomic pointer. Readers
+// (query admission, window load) grab one Snapshot and see a frozen view
+// for the whole run — a query never observes half a batch. Every applied
+// batch bumps the data epoch, a monotone uint64 that names graph versions:
+// resume tokens and cached plans are valid only at the epoch they were
+// minted at.
+package delta
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dualsim/internal/graph"
+)
+
+// Op is one edge mutation: an undirected edge (U, V) inserted or deleted.
+type Op struct {
+	// Insert is true for an edge insertion, false for a deletion.
+	Insert bool
+	// U and V are the edge endpoints; both must name existing vertices
+	// (the vertex set is fixed until a rebuild) and U != V.
+	U, V graph.VertexID
+}
+
+// VertexDelta is the overlay for one vertex: neighbors added and neighbors
+// tombstoned, each a sorted duplicate-free set. The two sets are disjoint —
+// applying an insert removes any tombstone for that neighbor and vice
+// versa, so the last operation on an edge wins.
+type VertexDelta struct {
+	// Add lists neighbors the overlay adds to the base adjacency.
+	Add []graph.VertexID
+	// Del lists neighbors the overlay tombstones out of the base
+	// adjacency.
+	Del []graph.VertexID
+}
+
+// Snapshot is an immutable point-in-time view of the overlay. It is safe
+// for concurrent use by any number of readers and stays valid (and
+// unchanged) after later batches are applied to the Store.
+type Snapshot struct {
+	epoch uint64
+	verts map[graph.VertexID]*VertexDelta
+	adds  uint64
+	dels  uint64
+}
+
+// emptySnapshot is the epoch-0 view shared by all fresh stores.
+func emptySnapshot(epoch uint64) *Snapshot {
+	return &Snapshot{epoch: epoch, verts: map[graph.VertexID]*VertexDelta{}}
+}
+
+// Epoch returns the data epoch this snapshot observes.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Empty reports whether the snapshot carries no mutations; enumeration
+// over an empty snapshot is byte-for-byte the base-file read path.
+func (s *Snapshot) Empty() bool { return len(s.verts) == 0 }
+
+// Len returns the number of vertices with a non-empty overlay.
+func (s *Snapshot) Len() int { return len(s.verts) }
+
+// Adds returns the live inserted-edge-endpoint count (each undirected
+// insert contributes two: one per endpoint).
+func (s *Snapshot) Adds() uint64 { return s.adds }
+
+// Dels returns the live tombstoned-edge-endpoint count.
+func (s *Snapshot) Dels() uint64 { return s.dels }
+
+// Of returns the overlay for v, or nil when v is unmutated. The returned
+// value and its slices are shared and must not be modified.
+func (s *Snapshot) Of(v graph.VertexID) *VertexDelta { return s.verts[v] }
+
+// Vertices calls f for every mutated vertex, in unspecified order. The
+// VertexDelta is shared and must not be modified.
+func (s *Snapshot) Vertices(f func(v graph.VertexID, d *VertexDelta)) {
+	for v, d := range s.verts {
+		f(v, d)
+	}
+}
+
+// Apply merges v's base adjacency with the overlay: (base ∪ Add) \ Del.
+// base must be sorted ascending; the result is sorted ascending and never
+// aliases base. For an unmutated vertex it returns base unchanged (no
+// copy), so callers must treat the result as read-only.
+func (s *Snapshot) Apply(v graph.VertexID, base []graph.VertexID) []graph.VertexID {
+	d := s.verts[v]
+	if d == nil {
+		return base
+	}
+	out := make([]graph.VertexID, 0, len(base)+len(d.Add))
+	i, j := 0, 0
+	emit := func(w graph.VertexID) {
+		if !containsSorted(d.Del, w) {
+			out = append(out, w)
+		}
+	}
+	for i < len(base) && j < len(d.Add) {
+		switch {
+		case base[i] < d.Add[j]:
+			emit(base[i])
+			i++
+		case base[i] > d.Add[j]:
+			emit(d.Add[j])
+			j++
+		default:
+			emit(base[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(base); i++ {
+		emit(base[i])
+	}
+	for ; j < len(d.Add); j++ {
+		emit(d.Add[j])
+	}
+	return out
+}
+
+// Degree returns the merged degree of v given its base degree — the length
+// Apply would produce, without materializing the list. Exact only when the
+// overlay's invariants hold against the base (Add disjoint from base, Del
+// a subset of base ∪ Add), which Store.Apply cannot check; the engine uses
+// it for budgeting, not correctness.
+func (s *Snapshot) Degree(v graph.VertexID, baseDegree int) int {
+	d := s.verts[v]
+	if d == nil {
+		return baseDegree
+	}
+	return baseDegree + len(d.Add) - len(d.Del)
+}
+
+// Store accumulates mutation batches and publishes immutable Snapshots.
+// All methods are safe for concurrent use.
+type Store struct {
+	mu          sync.Mutex
+	numVertices int
+	cur         atomic.Pointer[Snapshot]
+
+	batches   atomic.Uint64
+	ops       atomic.Uint64
+	rejected  atomic.Uint64
+	rebases   atomic.Uint64
+	lastEmpty atomic.Bool
+}
+
+// NewStore returns an empty store over a graph of numVertices vertices,
+// starting at the given epoch (the base file's stamped epoch, so epochs
+// never regress across restarts).
+func NewStore(numVertices int, epoch uint64) *Store {
+	st := &Store{numVertices: numVertices}
+	st.cur.Store(emptySnapshot(epoch))
+	st.lastEmpty.Store(true)
+	return st
+}
+
+// Snapshot returns the current immutable view.
+func (st *Store) Snapshot() *Snapshot { return st.cur.Load() }
+
+// Epoch returns the current data epoch.
+func (st *Store) Epoch() uint64 { return st.cur.Load().epoch }
+
+// Batches returns the number of successfully applied batches.
+func (st *Store) Batches() uint64 { return st.batches.Load() }
+
+// Ops returns the total mutation count across applied batches.
+func (st *Store) Ops() uint64 { return st.ops.Load() }
+
+// Rejected returns the number of batches rejected by validation.
+func (st *Store) Rejected() uint64 { return st.rejected.Load() }
+
+// Rebases returns the number of compaction drains applied via Rebase.
+func (st *Store) Rebases() uint64 { return st.rebases.Load() }
+
+// Validate checks a batch without applying it: every op must name two
+// distinct in-range vertices.
+func (st *Store) Validate(ops []Op) error {
+	for i, op := range ops {
+		if op.U == op.V {
+			return fmt.Errorf("delta: op %d: self-loop on vertex %d", i, op.U)
+		}
+		if int(op.U) >= st.numVertices || int(op.V) >= st.numVertices {
+			return fmt.Errorf("delta: op %d: vertex out of range [0,%d)", i, st.numVertices)
+		}
+	}
+	return nil
+}
+
+// Apply validates and applies one atomic batch, publishing a new Snapshot
+// with the epoch bumped by one. Within a batch, later ops win over earlier
+// ops on the same edge; across batches, the overlay is idempotent set
+// semantics (inserting a present edge or deleting an absent one is a
+// no-op at read time). Returns the new epoch.
+func (st *Store) Apply(ops []Op) (uint64, error) {
+	if err := st.Validate(ops); err != nil {
+		st.rejected.Add(1)
+		return st.Epoch(), err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	old := st.cur.Load()
+	next := &Snapshot{
+		epoch: old.epoch + 1,
+		verts: make(map[graph.VertexID]*VertexDelta, len(old.verts)+len(ops)),
+		adds:  old.adds,
+		dels:  old.dels,
+	}
+	for v, d := range old.verts {
+		next.verts[v] = d
+	}
+	for _, op := range ops {
+		next.applyHalf(op.Insert, op.U, op.V)
+		next.applyHalf(op.Insert, op.V, op.U)
+	}
+	next.prune()
+	st.cur.Store(next)
+	st.batches.Add(1)
+	st.ops.Add(uint64(len(ops)))
+	st.lastEmpty.Store(next.Empty())
+	return next.epoch, nil
+}
+
+// applyHalf records one direction of an undirected mutation on a snapshot
+// still under construction, copying the touched VertexDelta on first write
+// so published snapshots stay frozen.
+func (s *Snapshot) applyHalf(insert bool, v, w graph.VertexID) {
+	d := s.verts[v]
+	if d == nil {
+		d = &VertexDelta{}
+	} else {
+		d = &VertexDelta{
+			Add: append([]graph.VertexID(nil), d.Add...),
+			Del: append([]graph.VertexID(nil), d.Del...),
+		}
+	}
+	if insert {
+		var removed bool
+		d.Del, removed = removeSorted(d.Del, w)
+		if removed {
+			s.dels--
+		}
+		if ins := insertSorted(&d.Add, w); ins {
+			s.adds++
+		}
+	} else {
+		var removed bool
+		d.Add, removed = removeSorted(d.Add, w)
+		if removed {
+			s.adds--
+		}
+		if ins := insertSorted(&d.Del, w); ins {
+			s.dels++
+		}
+	}
+	s.verts[v] = d
+}
+
+// prune drops vertices whose overlay became empty (insert-then-delete
+// within the accumulated history), keeping Empty()/Len() meaningful.
+func (s *Snapshot) prune() {
+	for v, d := range s.verts {
+		if len(d.Add) == 0 && len(d.Del) == 0 {
+			delete(s.verts, v)
+		}
+	}
+}
+
+// Rebase subtracts a compacted snapshot from the current overlay: every
+// add and tombstone present in folded is now baked into the base file, so
+// it leaves the live overlay. The epoch is unchanged — compaction rewrites
+// the representation, not the data. Called by the compactor after the new
+// base file is fully swapped in; mutations that arrived during compaction
+// survive in the remaining overlay.
+func (st *Store) Rebase(folded *Snapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	old := st.cur.Load()
+	next := &Snapshot{
+		epoch: old.epoch,
+		verts: make(map[graph.VertexID]*VertexDelta, len(old.verts)),
+	}
+	for v, d := range old.verts {
+		f := folded.verts[v]
+		if f == nil {
+			next.verts[v] = d
+			next.adds += uint64(len(d.Add))
+			next.dels += uint64(len(d.Del))
+			continue
+		}
+		nd := &VertexDelta{
+			Add: subtractSorted(d.Add, f.Add),
+			Del: subtractSorted(d.Del, f.Del),
+		}
+		if len(nd.Add) == 0 && len(nd.Del) == 0 {
+			continue
+		}
+		next.verts[v] = nd
+		next.adds += uint64(len(nd.Add))
+		next.dels += uint64(len(nd.Del))
+	}
+	st.cur.Store(next)
+	st.rebases.Add(1)
+	st.lastEmpty.Store(next.Empty())
+}
+
+// containsSorted reports whether sorted slice a contains x.
+func containsSorted(a []graph.VertexID, x graph.VertexID) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	return i < len(a) && a[i] == x
+}
+
+// insertSorted inserts x into the sorted set *a, reporting whether it was
+// absent (and therefore inserted).
+func insertSorted(a *[]graph.VertexID, x graph.VertexID) bool {
+	s := *a
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i < len(s) && s[i] == x {
+		return false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	*a = s
+	return true
+}
+
+// removeSorted removes x from the sorted set a, reporting whether it was
+// present. The input slice is never modified.
+func removeSorted(a []graph.VertexID, x graph.VertexID) ([]graph.VertexID, bool) {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	if i >= len(a) || a[i] != x {
+		return a, false
+	}
+	out := make([]graph.VertexID, 0, len(a)-1)
+	out = append(out, a[:i]...)
+	return append(out, a[i+1:]...), true
+}
+
+// subtractSorted returns a \ b for sorted sets, never aliasing a.
+func subtractSorted(a, b []graph.VertexID) []graph.VertexID {
+	if len(a) == 0 {
+		return nil
+	}
+	out := make([]graph.VertexID, 0, len(a))
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}

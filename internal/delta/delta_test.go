@@ -1,0 +1,257 @@
+package delta
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dualsim/internal/graph"
+)
+
+func vs(xs ...int) []graph.VertexID {
+	out := make([]graph.VertexID, len(xs))
+	for i, x := range xs {
+		out[i] = graph.VertexID(x)
+	}
+	return out
+}
+
+func TestApplyInsertDelete(t *testing.T) {
+	st := NewStore(10, 0)
+	if !st.Snapshot().Empty() || st.Epoch() != 0 {
+		t.Fatalf("fresh store: empty=%v epoch=%d", st.Snapshot().Empty(), st.Epoch())
+	}
+	ep, err := st.Apply([]Op{{Insert: true, U: 1, V: 2}, {Insert: true, U: 1, V: 5}})
+	if err != nil || ep != 1 {
+		t.Fatalf("apply: epoch=%d err=%v", ep, err)
+	}
+	s := st.Snapshot()
+	if got := s.Apply(1, vs(3)); !reflect.DeepEqual(got, vs(2, 3, 5)) {
+		t.Fatalf("Apply(1, [3]) = %v, want [2 3 5]", got)
+	}
+	if got := s.Apply(2, vs(0, 9)); !reflect.DeepEqual(got, vs(0, 1, 9)) {
+		t.Fatalf("Apply(2, [0 9]) = %v, want [0 1 9]", got)
+	}
+	// Unmutated vertex: base returned unchanged, no copy.
+	base := vs(4, 6)
+	if got := s.Apply(7, base); &got[0] != &base[0] {
+		t.Fatal("Apply on unmutated vertex should return base unchanged")
+	}
+
+	ep, err = st.Apply([]Op{{Insert: false, U: 1, V: 2}, {Insert: false, U: 1, V: 3}})
+	if err != nil || ep != 2 {
+		t.Fatalf("apply deletes: epoch=%d err=%v", ep, err)
+	}
+	s2 := st.Snapshot()
+	if got := s2.Apply(1, vs(2, 3)); !reflect.DeepEqual(got, vs(5)) {
+		t.Fatalf("after deletes Apply(1, [2 3]) = %v, want [5]", got)
+	}
+	// The old snapshot is frozen: still sees the pre-delete view.
+	if got := s.Apply(1, vs(3)); !reflect.DeepEqual(got, vs(2, 3, 5)) {
+		t.Fatalf("old snapshot mutated: got %v", got)
+	}
+}
+
+func TestApplyLastOpWinsAndReinsert(t *testing.T) {
+	st := NewStore(8, 0)
+	// Within one batch, later ops win.
+	if _, err := st.Apply([]Op{
+		{Insert: true, U: 0, V: 1},
+		{Insert: false, U: 0, V: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Snapshot()
+	if d := s.Of(0); d == nil || len(d.Add) != 0 || !reflect.DeepEqual(d.Del, vs(1)) {
+		t.Fatalf("insert-then-delete: %+v", d)
+	}
+	// Re-insert clears the tombstone.
+	if _, err := st.Apply([]Op{{Insert: true, U: 0, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	s = st.Snapshot()
+	if d := s.Of(0); d == nil || !reflect.DeepEqual(d.Add, vs(1)) || len(d.Del) != 0 {
+		t.Fatalf("re-insert: %+v", d)
+	}
+	if got := s.Apply(0, vs(3)); !reflect.DeepEqual(got, vs(1, 3)) {
+		t.Fatalf("Apply = %v, want [1 3]", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	st := NewStore(4, 7)
+	cases := [][]Op{
+		{{Insert: true, U: 2, V: 2}},
+		{{Insert: true, U: 0, V: 4}},
+		{{Insert: false, U: 9, V: 1}},
+	}
+	for i, ops := range cases {
+		if _, err := st.Apply(ops); err == nil {
+			t.Fatalf("case %d: expected rejection", i)
+		}
+	}
+	if st.Epoch() != 7 {
+		t.Fatalf("rejected batches must not bump the epoch: %d", st.Epoch())
+	}
+	if st.Rejected() != 3 {
+		t.Fatalf("rejected = %d, want 3", st.Rejected())
+	}
+}
+
+func TestRebaseDrainsFolded(t *testing.T) {
+	st := NewStore(16, 0)
+	if _, err := st.Apply([]Op{{Insert: true, U: 1, V: 2}, {Insert: false, U: 3, V: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	folded := st.Snapshot() // compactor folds this view into a new file
+	if _, err := st.Apply([]Op{{Insert: true, U: 5, V: 6}}); err != nil {
+		t.Fatal(err) // arrives during compaction
+	}
+	st.Rebase(folded)
+	s := st.Snapshot()
+	if s.Epoch() != 2 {
+		t.Fatalf("rebase must not change the epoch: %d", s.Epoch())
+	}
+	if s.Of(1) != nil || s.Of(3) != nil {
+		t.Fatal("folded mutations must drain")
+	}
+	if d := s.Of(5); d == nil || !reflect.DeepEqual(d.Add, vs(6)) {
+		t.Fatalf("mid-compaction mutation lost: %+v", d)
+	}
+	if st.Rebases() != 1 {
+		t.Fatalf("rebases = %d", st.Rebases())
+	}
+}
+
+func TestDegree(t *testing.T) {
+	st := NewStore(8, 0)
+	if _, err := st.Apply([]Op{
+		{Insert: true, U: 0, V: 1},
+		{Insert: true, U: 0, V: 2},
+		{Insert: false, U: 0, V: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Snapshot()
+	if got := s.Degree(0, 5); got != 6 {
+		t.Fatalf("Degree(0, 5) = %d, want 6", got)
+	}
+	if got := s.Degree(7, 5); got != 5 {
+		t.Fatalf("Degree(7, 5) = %d, want 5", got)
+	}
+}
+
+// TestRandomizedAgainstMap drives random batches through the store and an
+// oracle adjacency-set map, checking Apply output after each batch.
+func TestRandomizedAgainstMap(t *testing.T) {
+	const n = 24
+	rng := rand.New(rand.NewSource(41))
+	oracleBase := map[graph.VertexID]map[graph.VertexID]bool{}
+	for v := 0; v < n; v++ {
+		oracleBase[graph.VertexID(v)] = map[graph.VertexID]bool{}
+	}
+	// A fixed pseudo-random base graph.
+	for i := 0; i < 60; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		w := graph.VertexID(rng.Intn(n))
+		if u == w {
+			continue
+		}
+		oracleBase[u][w] = true
+		oracleBase[w][u] = true
+	}
+	baseAdj := func(v graph.VertexID) []graph.VertexID {
+		var out []graph.VertexID
+		for w := range oracleBase[v] {
+			out = append(out, w)
+		}
+		sortIDs(out)
+		return out
+	}
+
+	st := NewStore(n, 0)
+	oracle := map[graph.VertexID]map[graph.VertexID]bool{}
+	for v, m := range oracleBase {
+		oracle[v] = map[graph.VertexID]bool{}
+		for w := range m {
+			oracle[v][w] = true
+		}
+	}
+	for batch := 0; batch < 50; batch++ {
+		ops := make([]Op, 1+rng.Intn(6))
+		for i := range ops {
+			u := graph.VertexID(rng.Intn(n))
+			w := graph.VertexID((int(u) + 1 + rng.Intn(n-1)) % n)
+			ops[i] = Op{Insert: rng.Intn(2) == 0, U: u, V: w}
+			if ops[i].Insert {
+				oracle[u][w] = true
+				oracle[w][u] = true
+			} else {
+				delete(oracle[u], w)
+				delete(oracle[w], u)
+			}
+		}
+		if _, err := st.Apply(ops); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		s := st.Snapshot()
+		for v := 0; v < n; v++ {
+			vid := graph.VertexID(v)
+			got := s.Apply(vid, baseAdj(vid))
+			var want []graph.VertexID
+			for w := range oracle[vid] {
+				want = append(want, w)
+			}
+			sortIDs(want)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("batch %d vertex %d: got %v want %v", batch, v, got, want)
+			}
+		}
+	}
+}
+
+func TestConcurrentApplySnapshot(t *testing.T) {
+	st := NewStore(64, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				u := graph.VertexID(rng.Intn(64))
+				v := graph.VertexID((int(u) + 1 + rng.Intn(63)) % 64)
+				if _, err := st.Apply([]Op{{Insert: rng.Intn(2) == 0, U: u, V: v}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			s := st.Snapshot()
+			s.Vertices(func(v graph.VertexID, d *VertexDelta) {
+				_ = s.Apply(v, nil)
+			})
+		}
+	}()
+	wg.Wait()
+	if st.Epoch() != 800 {
+		t.Fatalf("epoch = %d, want 800", st.Epoch())
+	}
+}
+
+func sortIDs(a []graph.VertexID) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -211,6 +211,19 @@ func (r *Registry) GaugeFunc(name, help string, f func() float64) {
 	r.metrics[name] = &metric{name: name, help: help, kind: kindGaugeFunc, gaugeFunc: f}
 }
 
+// CounterFuncLabeled registers a counter series carrying constant labels,
+// read from f at render time — e.g. dualsim_resumes_total{reason="..."}.
+// Distinct label sets under one name are distinct series in the same
+// family; re-registering the same name+labels replaces f.
+func (r *Registry) CounterFuncLabeled(name, help string, labels []Label, f func() uint64) {
+	name = SanitizeMetricName(name)
+	m := &metric{name: name, help: help, kind: kindCounterFunc,
+		labels: append([]Label(nil), labels...), counterFunc: f}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[m.series()] = m
+}
+
 // GaugeFuncLabeled registers a gauge series carrying constant labels,
 // computed by f at render time — e.g. dualsim_build_info{version,commit}.
 // Distinct label sets under one name are distinct series; re-registering

@@ -12,6 +12,7 @@ import (
 
 	"dualsim/internal/buildinfo"
 	"dualsim/internal/core"
+	"dualsim/internal/delta"
 	"dualsim/internal/graph"
 	"dualsim/internal/obs"
 	"dualsim/internal/plan"
@@ -70,6 +71,10 @@ type QueryResponse struct {
 	// of restarting. Rows from the partially-streamed window are replayed
 	// (at-least-once delivery); counts stay exactly-once.
 	ResumeToken string `json:"resume_token,omitempty"`
+	// DataEpoch is the data epoch the query observed: the overlay snapshot
+	// pinned at admission (live ingest), or the base file's content epoch.
+	// Counts are exact for this epoch; a later epoch may answer differently.
+	DataEpoch uint64 `json:"data_epoch"`
 	// TraceID is this request's trace ID, minted at admission and also
 	// echoed in the X-Dualsim-Trace-Id response header; every span the
 	// query emitted carries it.
@@ -206,9 +211,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Pin the live-ingest overlay for the whole run: the query enumerates
+	// base file + exactly this snapshot, so mutations applied mid-run do
+	// not shift its counts, and the epoch it reports is the one it saw.
+	var snap *delta.Snapshot
+	if s.store != nil {
+		snap = s.store.Snapshot()
+	}
+	dataEpoch := s.dataEpoch()
+	if snap != nil {
+		dataEpoch = snap.Epoch()
+	}
+
 	// Resume-token redemption: verify the signature, then require the token
 	// to have been minted for this exact plan — a checkpoint's cursor and
-	// counts are meaningless under any other matching order.
+	// counts are meaningless under any other matching order — and for the
+	// CURRENT data epoch: a frontier's settled counts were taken over a
+	// graph version, and replaying the remainder over a mutated graph
+	// would splice two different answers together.
 	var resume *core.Checkpoint
 	var resumedFrom string
 	if req.ResumeToken != "" {
@@ -223,19 +243,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusConflict, "resume_token was minted for a different query plan")
 			return
 		}
+		if payload.Epoch != dataEpoch {
+			s.sm.resumesRejected.Inc()
+			s.sm.resumesStale.Add(1)
+			writeError(w, http.StatusConflict,
+				"resume_token is stale: minted at data epoch %d, current epoch is %d; restart the query",
+				payload.Epoch, dataEpoch)
+			return
+		}
 		resume = &payload.CP
 		resumedFrom = payload.Trace
 	}
 
-	// Admission. Cohort-eligible queries (ShareScan on, no resume token)
-	// bypass the solo pool: their concurrency is bounded by the cohort —
-	// CohortMaxRiders riding plus QueueDepth boarding — rather than an
-	// engine slot, so N compatible queries share one sweep instead of
-	// serializing onto the solo engines' divided buffers. Boarding delay
-	// is bounded by the sweep's window cadence and the run context, not
-	// the queue-wait deadline. Everything else takes the solo path:
-	// bounded queue, bounded wait, per-request deadline.
-	useCohort := s.sched != nil && resume == nil
+	// Admission. Cohort-eligible queries (ShareScan on, no resume token,
+	// no pending overlay — shared sweeps load windows once for N riders,
+	// so they serve only the base graph) bypass the solo pool: their
+	// concurrency is bounded by the cohort — CohortMaxRiders riding plus
+	// QueueDepth boarding — rather than an engine slot, so N compatible
+	// queries share one sweep instead of serializing onto the solo
+	// engines' divided buffers. Boarding delay is bounded by the sweep's
+	// window cadence and the run context, not the queue-wait deadline.
+	// Everything else takes the solo path: bounded queue, bounded wait,
+	// per-request deadline.
+	sched := s.scheduler()
+	useCohort := sched != nil && resume == nil && (snap == nil || snap.Empty())
 	var eng *core.Engine // nil while riding the shared sweep
 	var queueNS int64
 	if useCohort {
@@ -291,7 +322,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// A shedding breaker drops speculation first: prefetch multiplies reads
 	// against a device that is already failing them, and the budget carved
 	// from the buffer pool is worth more as demand-fetch frames.
-	spec := core.RunSpec{Plan: p, Resume: resume, DisablePrefetch: s.br.shedding(), Scope: scope}
+	spec := core.RunSpec{Plan: p, Resume: resume, Overlay: snap, DisablePrefetch: s.br.shedding(), Scope: scope}
 
 	// run executes the spec: solo on the acquired engine, or as a cohort
 	// rider. A bounced rider (ErrNotEligible — the plan is too deep for
@@ -301,7 +332,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if eng != nil {
 			return eng.RunSpecContext(ctx, sp)
 		}
-		res, err := s.sched.Run(ctx, sp)
+		res, err := sched.Run(ctx, sp)
 		if err != nil && errors.Is(err, sharedscan.ErrNotEligible) {
 			s.sm.cohortFallbacks.Inc()
 			solo, aerr := s.acquire(ctx)
@@ -322,6 +353,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		wantProfile: wantProfile,
 		start:       reqStart,
 		queueNS:     queueNS,
+		epoch:       dataEpoch,
 	}
 
 	if !streaming {
@@ -348,6 +380,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Resumed:          res.Resumed,
 			WindowRetries:    res.WindowRetries,
 			SharedPages:      scope.SharedPages.Load(),
+			DataEpoch:        dataEpoch,
 			TraceID:          traceID,
 			ResumedFromTrace: resumedFrom,
 			Profile:          attr.profile(res.Profile),
@@ -369,6 +402,9 @@ type queryAttribution struct {
 	wantProfile bool
 	start       time.Time
 	queueNS     int64
+	// epoch is the data epoch pinned at admission: stamped into resume
+	// tokens minted by this run and echoed as the response's DataEpoch.
+	epoch uint64
 }
 
 // profile returns the cost profile to attach to a response: the engine's
@@ -523,7 +559,7 @@ func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req Qu
 	sinceToken := 0
 	spec.OnCheckpoint = func(cp core.Checkpoint) {
 		tok := s.tokens.encode(resumePayload{V: resumeTokenVersion, Plan: planKey, CP: cp,
-			Trace: attr.traceID})
+			Trace: attr.traceID, Epoch: attr.epoch})
 		mu.Lock()
 		defer mu.Unlock()
 		lastToken = tok
@@ -570,6 +606,7 @@ func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req Qu
 			Resumed:          res.Resumed,
 			WindowRetries:    res.WindowRetries,
 			SharedPages:      attr.scope.SharedPages.Load(),
+			DataEpoch:        attr.epoch,
 			TraceID:          attr.traceID,
 			ResumedFromTrace: attr.resumedFrom,
 			Profile:          attr.profile(res.Profile),
@@ -580,7 +617,7 @@ func (s *Server) streamEmbeddings(w http.ResponseWriter, r *http.Request, req Qu
 	case truncated:
 		s.settleQuery(attr, q.Name(), rows, "truncated", nil)
 		trailer := QueryResponse{Query: q.Name(), Rows: rows, Truncated: true, PlanCached: cached,
-			QueueNS: queueNS, ResumeToken: lastToken,
+			QueueNS: queueNS, ResumeToken: lastToken, DataEpoch: attr.epoch,
 			TraceID: attr.traceID, ResumedFromTrace: attr.resumedFrom,
 			Profile: attr.profile(nil), Done: true}
 		b, _ := json.Marshal(trailer)
@@ -689,10 +726,31 @@ type StatsResponse struct {
 	// Cohort carries the live cohort counters when it is.
 	ShareScan bool              `json:"share_scan"`
 	Cohort    *sharedscan.Stats `json:"cohort,omitempty"`
+	// DataEpoch is the current data epoch; Ingest carries the live-ingest
+	// counters when the server is mutable.
+	DataEpoch uint64       `json:"data_epoch"`
+	Ingest    *IngestStats `json:"ingest,omitempty"`
+}
+
+// IngestStats is the live-ingest section of GET /stats.
+type IngestStats struct {
+	Batches  uint64 `json:"batches"`
+	Ops      uint64 `json:"ops"`
+	Rejected uint64 `json:"rejected"`
+	// DeltaVertices/DeltaAdds/DeltaDels are the overlay's pending
+	// footprint awaiting compaction.
+	DeltaVertices int    `json:"delta_vertices"`
+	DeltaAdds     uint64 `json:"delta_adds"`
+	DeltaDels     uint64 `json:"delta_dels"`
+	Compactions   uint64 `json:"compactions"`
+	CompactErrors uint64 `json:"compact_errors"`
+	Compacting    bool   `json:"compacting"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
+	db := s.db
+	sched := s.sched
 	engines := len(s.engines)
 	// The engines share one registry, so enumeration counters (io_wait,
 	// prefetch_*) are fleet-wide on any member — read one, never sum. Pool
@@ -713,15 +771,30 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	slowSummary := s.slowlog.Snapshot()
 	slowSummary.Recent = nil // summary only; ring served by /debug/slowlog
 	var cohort *sharedscan.Stats
-	if s.sched != nil {
-		st := s.sched.Stats()
+	if sched != nil {
+		st := sched.Stats()
 		cohort = &st
 	}
+	var ingest *IngestStats
+	if s.store != nil {
+		snap := s.store.Snapshot()
+		ingest = &IngestStats{
+			Batches:       s.store.Batches(),
+			Ops:           s.store.Ops(),
+			Rejected:      s.store.Rejected(),
+			DeltaVertices: snap.Len(),
+			DeltaAdds:     snap.Adds(),
+			DeltaDels:     snap.Dels(),
+			Compactions:   s.compactions.Load(),
+			CompactErrors: s.compactErrors.Load(),
+			Compacting:    s.compacting.Load(),
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Vertices:       s.db.NumVertices(),
-		Edges:          s.db.NumEdges(),
-		Pages:          s.db.NumPages(),
-		PageSize:       s.db.PageSize(),
+		Vertices:       db.NumVertices(),
+		Edges:          db.NumEdges(),
+		Pages:          db.NumPages(),
+		PageSize:       db.PageSize(),
 		Engines:        engines,
 		EnginesIdle:    len(s.slots),
 		QueueDepth:     int(s.waiters.Load()),
@@ -753,8 +826,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		BuildVersion:     buildVersion,
 		BuildCommit:      buildCommit,
 		SlowLog:          slowSummary,
-		ShareScan:        s.sched != nil,
+		ShareScan:        sched != nil,
 		Cohort:           cohort,
+		DataEpoch:        s.dataEpoch(),
+		Ingest:           ingest,
 	})
 }
 

@@ -1,0 +1,363 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dualsim/internal/core"
+	"dualsim/internal/delta"
+	"dualsim/internal/graph"
+	"dualsim/internal/sharedscan"
+	"dualsim/internal/storage"
+)
+
+// maxIngestBatch bounds one POST /edges body. A batch is applied
+// atomically under the store's writer lock; an unbounded body would let
+// one client hold the ingest path (and the handler's memory) hostage.
+const maxIngestBatch = 100_000
+
+// EdgeOp is one mutation in a POST /edges body: a single JSON object, or
+// a stream of them (NDJSON / concatenated JSON). The whole body is ONE
+// atomic batch — it applies entirely or not at all, and bumps the data
+// epoch by exactly one.
+type EdgeOp struct {
+	// Op is "insert" or "delete" (default "insert").
+	Op string `json:"op,omitempty"`
+	// U and V are the edge's endpoints (undirected, u != v, both within
+	// the graph's fixed vertex range).
+	U int64 `json:"u"`
+	V int64 `json:"v"`
+}
+
+// IngestResponse is the POST /edges reply.
+type IngestResponse struct {
+	Applied int `json:"applied"`
+	// Epoch is the data epoch after this batch; queries admitted from now
+	// on observe the mutation and report this (or a later) epoch.
+	Epoch uint64 `json:"epoch"`
+	// DeltaVertices is the overlay's current footprint: vertices with
+	// pending mutations awaiting compaction.
+	DeltaVertices int `json:"delta_vertices"`
+}
+
+// CompactResponse is the POST /admin/compact reply.
+type CompactResponse struct {
+	// Compacted is false when there was nothing to fold (empty overlay)
+	// or a compaction was already running.
+	Compacted bool   `json:"compacted"`
+	Epoch     uint64 `json:"epoch"`
+}
+
+// handleEdges is POST /edges: decode the body as one or more EdgeOp
+// objects, apply them as a single atomic batch, stamp the new epoch into
+// the base file's superblock, and invalidate cached plans.
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+
+	n := s.database().NumVertices()
+	dec := json.NewDecoder(r.Body)
+	var ops []delta.Op
+	for {
+		var eo EdgeOp
+		if err := dec.Decode(&eo); err == io.EOF {
+			break
+		} else if err != nil {
+			s.sm.ingestRejected.Inc()
+			writeError(w, http.StatusBadRequest, "bad edge op %d: %v", len(ops), err)
+			return
+		}
+		var insert bool
+		switch eo.Op {
+		case "", "insert":
+			insert = true
+		case "delete":
+		default:
+			s.sm.ingestRejected.Inc()
+			writeError(w, http.StatusBadRequest, "bad edge op %d: op %q (want insert or delete)", len(ops), eo.Op)
+			return
+		}
+		if eo.U < 0 || eo.V < 0 || eo.U >= int64(n) || eo.V >= int64(n) {
+			s.sm.ingestRejected.Inc()
+			writeError(w, http.StatusBadRequest, "bad edge op %d: endpoints (%d,%d) outside [0,%d)", len(ops), eo.U, eo.V, n)
+			return
+		}
+		if len(ops) >= maxIngestBatch {
+			s.sm.ingestRejected.Inc()
+			writeError(w, http.StatusRequestEntityTooLarge, "batch exceeds %d ops", maxIngestBatch)
+			return
+		}
+		ops = append(ops, delta.Op{Insert: insert, U: graph.VertexID(eo.U), V: graph.VertexID(eo.V)})
+	}
+	if len(ops) == 0 {
+		s.sm.ingestRejected.Inc()
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+
+	epoch, err := s.store.Apply(ops)
+	if err != nil {
+		s.sm.ingestRejected.Inc()
+		writeError(w, http.StatusBadRequest, "rejected batch: %v", err)
+		return
+	}
+	s.sm.ingestBatches.Inc()
+	s.sm.ingestOps.Add(uint64(len(ops)))
+	s.opsSinceCompact.Add(uint64(len(ops)))
+	s.advanceEpoch()
+	s.maybeCompact()
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Applied:       len(ops),
+		Epoch:         epoch,
+		DeltaVertices: s.store.Snapshot().Len(),
+	})
+}
+
+// advanceEpoch publishes the store's current epoch: the plan cache drops
+// entries prepared against older data, and the base file's superblock is
+// stamped so tooling (and the compactor's output) can see how far the
+// content on disk lags the truth. stampMu serializes concurrent batches
+// so a slower writer can never publish an older epoch over a newer one.
+func (s *Server) advanceEpoch() {
+	s.stampMu.Lock()
+	defer s.stampMu.Unlock()
+	epoch := s.store.Epoch()
+	s.cache.SetEpoch(epoch)
+	if sdb, ok := s.database().(*storage.DB); ok {
+		if err := storage.StampEpoch(sdb.Path(), epoch); err != nil {
+			log.Printf("dualsim/server: stamping epoch %d: %v", epoch, err)
+		}
+	}
+}
+
+// dataEpoch is the service's current data epoch: the overlay store's when
+// live ingest is on, the base file's content epoch otherwise (zero for
+// non-storage backends such as the chaos harness's fault wrapper).
+func (s *Server) dataEpoch() uint64 {
+	if s.store != nil {
+		return s.store.Epoch()
+	}
+	if sdb, ok := s.database().(*storage.DB); ok {
+		return sdb.Epoch()
+	}
+	return 0
+}
+
+// handleCompact is POST /admin/compact: fold the overlay into a fresh
+// base file synchronously. 409 when a compaction is already running, 200
+// with compacted=false when the overlay was empty.
+func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	did, err := s.compactOnce()
+	switch {
+	case errors.Is(err, errCompactBusy):
+		writeError(w, http.StatusConflict, "compaction already in progress")
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "compaction failed: %v", err)
+	default:
+		writeJSON(w, http.StatusOK, CompactResponse{Compacted: did, Epoch: s.dataEpoch()})
+	}
+}
+
+// maybeCompact kicks a background compaction once the overlay has
+// absorbed CompactEvery ops since the last fold.
+func (s *Server) maybeCompact() {
+	if s.cfg.CompactEvery <= 0 || s.opsSinceCompact.Load() < uint64(s.cfg.CompactEvery) {
+		return
+	}
+	if _, ok := s.database().(*storage.DB); !ok {
+		return
+	}
+	go func() {
+		if _, err := s.compactOnce(); err != nil && !errors.Is(err, errCompactBusy) {
+			log.Printf("dualsim/server: background compaction: %v", err)
+		}
+	}()
+}
+
+var errCompactBusy = errors.New("server: compaction already in progress")
+
+// compactOnce folds the overlay snapshot into a fresh database file and
+// swaps it live. The protocol, in order:
+//
+//  1. Snapshot the overlay at epoch E; build the folded file NEXT TO the
+//     live one and stamp it with E.
+//  2. rename(2) it over the live path. Open descriptors keep reading the
+//     old inode, so in-flight runs finish against the graph they started
+//     on; only this step is a point of no return, and it is atomic.
+//  3. Open the new file and migrate the pool one engine at a time as each
+//     returns to the slots channel. During migration queries run on a MIX
+//     of old and new engines — both are correct, because applying the
+//     still-undrained overlay to the folded file is idempotent: inserts
+//     it already contains and deletes it already lacks are no-ops.
+//  4. Retire the shared-scan scheduler (riders drain; arrivals bounce to
+//     the solo pool and are counted as fallbacks) and rebuild it over the
+//     new file.
+//  5. Rebase the overlay: subtract exactly the folded snapshot, keeping
+//     ops applied after E. The epoch does not move — compaction changes
+//     the representation, not the data.
+//
+// The overlay is only rebased after every engine reads the folded file,
+// so no window can miss a mutation; until then the idempotent overlay
+// double-covers the folded ops.
+func (s *Server) compactOnce() (bool, error) {
+	if !s.compacting.CompareAndSwap(false, true) {
+		return false, errCompactBusy
+	}
+	defer s.compacting.Store(false)
+
+	sdb, ok := s.database().(*storage.DB)
+	if !ok {
+		return false, fmt.Errorf("server: base %T is not compactable", s.database())
+	}
+	snap := s.store.Snapshot()
+	if snap.Empty() {
+		return false, nil
+	}
+	fail := func(err error) (bool, error) {
+		s.compactErrors.Add(1)
+		return false, err
+	}
+
+	live := sdb.Path()
+	tmp := live + ".compact"
+	defer os.Remove(tmp)
+	opt := storage.BuildOptions{
+		Compress: s.cfg.CompactCompress,
+		TempDir:  filepath.Dir(live),
+	}
+	if _, err := storage.Compact(tmp, sdb, snap.Apply, snap.Epoch(), opt); err != nil {
+		return fail(err)
+	}
+	if err := storage.SwapFile(tmp, live); err != nil {
+		return fail(err)
+	}
+	ndb, err := storage.Open(live)
+	if err != nil {
+		// The path now holds the folded file but every reader still has the
+		// old inode: serving continues, the overlay keeps double-covering,
+		// and the next compaction folds base+overlay again (idempotent).
+		return fail(fmt.Errorf("server: reopening compacted db: %w", err))
+	}
+
+	// Point all future engine builds at the new file, then migrate.
+	s.mu.Lock()
+	s.db = ndb
+	pending := make(map[*core.Engine]bool, len(s.engines))
+	for _, e := range s.engines {
+		if e != s.cohortEng {
+			pending[e] = true
+		}
+	}
+	s.mu.Unlock()
+
+	for len(pending) > 0 {
+		e := <-s.slots
+		if !pending[e] {
+			// Already migrated (or a fresh replacement from the leaky-engine
+			// path). Hand it back and let queries use it while the stragglers
+			// finish their runs.
+			s.slots <- e
+			s.mu.Lock()
+			for p := range pending {
+				found := false
+				for _, cur := range s.engines {
+					if cur == p {
+						found = true
+						break
+					}
+				}
+				if !found {
+					delete(pending, p) // retired by release() mid-migration
+				}
+			}
+			s.mu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		delete(pending, e)
+		ne, err := s.newEngine()
+		if err != nil {
+			// Keep serving on the old engine; the overlay still covers it.
+			s.slots <- e
+			return fail(fmt.Errorf("server: rebuilding engine over compacted db: %w", err))
+		}
+		s.mu.Lock()
+		for i, old := range s.engines {
+			if old == e {
+				s.engines[i] = ne
+				break
+			}
+		}
+		s.mu.Unlock()
+		e.Close()
+		s.slots <- ne
+	}
+
+	if s.scheduler() != nil {
+		if err := s.rebuildCohort(ndb); err != nil {
+			return fail(err)
+		}
+	}
+
+	s.store.Rebase(snap)
+	s.opsSinceCompact.Store(0)
+	s.compactions.Add(1)
+	sdb.Close()
+	return true, nil
+}
+
+// rebuildCohort retires the shared-scan scheduler and its engine and
+// installs replacements over db. Riders on the old sweep drain through
+// Close; arrivals racing the swap bounce to the solo pool (ErrNotEligible
+// fallback) rather than erroring.
+func (s *Server) rebuildCohort(db core.Database) error {
+	opts := s.cfg.Engine
+	opts.Metrics = s.reg
+	opts.OnMatch = nil
+	opts.Threads = s.cfg.Engine.Threads * s.cfg.Engines
+	ce, err := core.NewEngine(db, opts)
+	if err != nil {
+		return fmt.Errorf("server: rebuilding cohort engine over compacted db: %w", err)
+	}
+	newSched := sharedscan.New(ce, sharedscan.Options{
+		MaxRiders:     s.cfg.CohortMaxRiders,
+		FormationWait: s.cfg.CohortFormationWait,
+		Metrics:       s.reg,
+	})
+	s.mu.Lock()
+	oldSched, oldCE := s.sched, s.cohortEng
+	s.sched, s.cohortEng = newSched, ce
+	for i, e := range s.engines {
+		if e == oldCE {
+			s.engines[i] = ce
+			break
+		}
+	}
+	s.mu.Unlock()
+	if oldSched != nil {
+		oldSched.Close()
+	}
+	if oldCE != nil {
+		oldCE.Close()
+	}
+	return nil
+}

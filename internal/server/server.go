@@ -28,10 +28,12 @@ import (
 
 	"dualsim/internal/buildinfo"
 	"dualsim/internal/core"
+	"dualsim/internal/delta"
 	"dualsim/internal/graph"
 	"dualsim/internal/obs"
 	"dualsim/internal/plan"
 	"dualsim/internal/sharedscan"
+	"dualsim/internal/storage"
 )
 
 // maxCanonicalVertices bounds plan-cache participation: the canonical-code
@@ -112,6 +114,21 @@ type Config struct {
 	// CohortFormationWait delays a fresh sweep's first window so
 	// near-simultaneous arrivals board together (default 10ms).
 	CohortFormationWait time.Duration
+	// Mutable enables live ingest: POST /edges applies edge inserts and
+	// deletes to an in-memory delta overlay, every subsequent query merges
+	// the overlay into its window loads, and each applied batch advances
+	// the data epoch (invalidating cached plans and outstanding resume
+	// tokens). The base file on disk is untouched until compaction.
+	Mutable bool
+	// CompactEvery, with Mutable, is the overlay-op threshold that kicks a
+	// background compaction: the overlay is folded into a fresh database
+	// file which atomically replaces the live one, engines are migrated,
+	// and the folded ops drain from the overlay. 0 disables automatic
+	// compaction (POST /admin/compact still triggers one on demand).
+	// Compaction requires the base to be a *storage.DB.
+	CompactEvery int
+	// CompactCompress stores compacted files delta-varint compressed.
+	CompactCompress bool
 	// Engine is the per-engine template. Metrics, OnMatch and buffer sizing
 	// are managed by the server (buffer fields are reinterpreted as the
 	// global budget; Threads defaults to GOMAXPROCS/Engines).
@@ -199,9 +216,22 @@ type Server struct {
 	// Shared-scan cohort execution (nil unless Config.ShareScan): the
 	// cohort engine holds the FULL global buffer budget and is listed in
 	// engines (aggregate metrics, closeEngines) but never enters slots —
-	// the scheduler owns it exclusively.
+	// the scheduler owns it exclusively. Both fields are guarded by mu:
+	// compaction retires them and installs replacements over the new file.
 	sched          *sharedscan.Scheduler
+	cohortEng      *core.Engine
 	cohortInflight atomic.Int64
+
+	// Live ingest (nil unless Config.Mutable): the delta overlay every
+	// query snapshots at admission. stampMu orders on-disk epoch stamps
+	// and plan-cache bumps so a later batch can never be overwritten by an
+	// earlier one racing through the handler.
+	store           *delta.Store
+	stampMu         sync.Mutex
+	opsSinceCompact atomic.Uint64
+	compacting      atomic.Bool
+	compactions     atomic.Uint64
+	compactErrors   atomic.Uint64
 
 	draining   atomic.Bool
 	inflight   sync.WaitGroup
@@ -284,11 +314,23 @@ func New(db core.Database, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: building cohort engine: %w", err)
 		}
 		s.engines = append(s.engines, ce)
+		s.cohortEng = ce
 		s.sched = sharedscan.New(ce, sharedscan.Options{
 			MaxRiders:     cfg.CohortMaxRiders,
 			FormationWait: cfg.CohortFormationWait,
 			Metrics:       reg,
 		})
+	}
+	if cfg.Mutable {
+		// The overlay's epoch continues the base file's: a freshly opened
+		// file that has already absorbed (and compacted) mutations reports
+		// its content epoch, and the first POST /edges advances from there.
+		var epoch uint64
+		if sdb, ok := db.(*storage.DB); ok {
+			epoch = sdb.Epoch()
+		}
+		s.store = delta.NewStore(db.NumVertices(), epoch)
+		s.cache.SetEpoch(epoch)
 	}
 	s.cache.Register(reg)
 	s.sm = registerServerMetrics(reg, s)
@@ -298,11 +340,16 @@ func New(db core.Database, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
+	if cfg.Mutable {
+		s.mux.HandleFunc("POST /edges", s.handleEdges)
+		s.mux.HandleFunc("POST /admin/compact", s.handleCompact)
+	}
 	obs.Register(s.mux, reg)
 	return s, nil
 }
 
-// newEngine builds one pool member with its share of the global budget.
+// newEngine builds one pool member with its share of the global budget,
+// over the CURRENT database (compaction swaps s.db under mu).
 func (s *Server) newEngine() (*core.Engine, error) {
 	opts := s.cfg.Engine
 	opts.Metrics = s.reg
@@ -312,7 +359,24 @@ func (s *Server) newEngine() (*core.Engine, error) {
 	} else if opts.BufferFraction > 0 {
 		opts.BufferFraction /= float64(s.cfg.Engines)
 	}
-	return core.NewEngine(s.db, opts)
+	return core.NewEngine(s.database(), opts)
+}
+
+// database returns the current base database. Stable for the life of the
+// server unless compaction swaps in a freshly folded file.
+func (s *Server) database() core.Database {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db
+}
+
+// scheduler returns the current shared-scan scheduler (nil without
+// ShareScan). Compaction retires and replaces it, so callers capture it
+// once per request rather than re-reading s.sched.
+func (s *Server) scheduler() *sharedscan.Scheduler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched
 }
 
 // registerAggregatePoolMetrics re-registers the buffer-pool metric families
@@ -450,8 +514,8 @@ func (s *Server) flushTracer() {
 // run after the in-flight barrier and before closeEngines: sweeps hold
 // buffer pins on the cohort engine until their riders detach.
 func (s *Server) closeSched() {
-	if s.sched != nil {
-		s.sched.Close()
+	if sched := s.scheduler(); sched != nil {
+		sched.Close()
 	}
 }
 
@@ -578,6 +642,15 @@ type serverMetrics struct {
 	resumesOK       *obs.Counter
 	resumesRejected *obs.Counter
 	cohortFallbacks *obs.Counter
+
+	ingestBatches  *obs.Counter
+	ingestOps      *obs.Counter
+	ingestRejected *obs.Counter
+	// resumesStale counts resume tokens rejected because the data epoch
+	// advanced past the one the token was minted at. It is a subset of
+	// resumesRejected, exported as the reason="stale_epoch" breakdown of
+	// the dualsim_resumes_total family.
+	resumesStale atomic.Uint64
 }
 
 func registerServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
@@ -595,7 +668,25 @@ func registerServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		resumesOK:       reg.Counter("dualsim_resumes_ok_total", "resume tokens accepted and replayed"),
 		resumesRejected: reg.Counter("dualsim_resumes_rejected_total", "resume tokens rejected (bad signature, wrong plan, stale checkpoint)"),
 		cohortFallbacks: reg.Counter("dualsim_server_cohort_fallbacks_total", "cohort-routed queries bounced to a solo engine (rider not eligible)"),
+
+		ingestBatches:  reg.Counter("dualsim_ingest_batches_total", "edge mutation batches applied to the delta overlay (each bumps the data epoch)"),
+		ingestOps:      reg.Counter("dualsim_ingest_ops_total", "edge mutation ops applied (inserts + deletes)"),
+		ingestRejected: reg.Counter("dualsim_ingest_rejected_total", "edge mutation batches rejected (malformed body or invalid endpoints)"),
 	}
+	reg.CounterFuncLabeled("dualsim_resumes_total",
+		"resume attempts by outcome (ok + rejected)",
+		[]obs.Label{{Key: "reason", Value: "stale_epoch"}}, sm.resumesStale.Load)
+	reg.GaugeFunc("dualsim_data_epoch", "current data epoch (mutation batches applied over the base file's content)", func() float64 {
+		return float64(s.dataEpoch())
+	})
+	reg.GaugeFunc("dualsim_delta_overlay_vertices", "vertices with pending overlay mutations awaiting compaction", func() float64 {
+		if s.store == nil {
+			return 0
+		}
+		return float64(s.store.Snapshot().Len())
+	})
+	reg.CounterFunc("dualsim_compactions_total", "overlay compactions folded into a fresh base file and swapped live", s.compactions.Load)
+	reg.CounterFunc("dualsim_compaction_errors_total", "overlay compactions that failed (overlay retained, base unchanged)", s.compactErrors.Load)
 	reg.CounterFunc("dualsim_server_rejected_total", "requests rejected with 429 (queue full + deadline)", func() uint64 {
 		return sm.rejectedFull.Value() + sm.rejectedWait.Value()
 	})

@@ -27,6 +27,10 @@ type resumePayload struct {
 	// Trace is the trace ID of the run that minted the token, so a
 	// resumed query can report which request it continues.
 	Trace string `json:"tr,omitempty"`
+	// Epoch is the data epoch the checkpoint's counts were taken at. A
+	// checkpoint frontier is meaningless against a graph that has since
+	// mutated — redemption requires the server's current epoch to match.
+	Epoch uint64 `json:"ep,omitempty"`
 }
 
 // errBadToken reports a resume token that failed decoding or signature

@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"dualsim/internal/graph"
+)
+
+// MergedAdjFunc merges one vertex's base adjacency with the live-ingest
+// overlay: it returns (base ∪ adds) \ tombstones, sorted ascending. The
+// compactor calls it once per vertex; returning base unchanged means the
+// vertex is unmutated. delta.Snapshot.Apply has this signature.
+type MergedAdjFunc func(v graph.VertexID, base []graph.VertexID) []graph.VertexID
+
+// mutatedSource adapts (base DB + overlay merge) into an EdgeSource: it
+// streams every vertex's merged adjacency and emits each undirected edge
+// once (u < w). Build re-reads the source twice (degree pass, sort pass);
+// page re-reads ride the OS page cache.
+type mutatedSource struct {
+	db    *DB
+	apply MergedAdjFunc
+
+	next graph.VertexID   // next vertex to load
+	cur  graph.VertexID   // vertex whose forward edges are being drained
+	adj  []graph.VertexID // merged adjacency of cur, filtered to > cur
+	i    int
+}
+
+// NumVertices returns the vertex count (fixed until a rebuild).
+func (s *mutatedSource) NumVertices() int { return s.db.NumVertices() }
+
+// Reset rewinds the stream to the first vertex.
+func (s *mutatedSource) Reset() error {
+	s.next, s.cur, s.i = 0, 0, 0
+	s.adj = s.adj[:0]
+	return nil
+}
+
+// Next returns the next undirected edge of the mutated graph.
+func (s *mutatedSource) Next() (graph.VertexID, graph.VertexID, error) {
+	for {
+		if s.i < len(s.adj) {
+			w := s.adj[s.i]
+			s.i++
+			return s.cur, w, nil
+		}
+		if int(s.next) >= s.db.NumVertices() {
+			return 0, 0, io.EOF
+		}
+		v := s.next
+		s.next++
+		base, err := s.db.Adjacency(v)
+		if err != nil {
+			return 0, 0, err
+		}
+		merged := s.apply(v, base)
+		s.cur = v
+		s.adj = s.adj[:0]
+		for _, w := range merged {
+			if w > v {
+				s.adj = append(s.adj, w)
+			}
+		}
+		s.i = 0
+	}
+}
+
+// Compact rewrites db with the overlay folded in as a fresh database file
+// at dstPath, preserving vertex IDs (no degree relabeling — directory
+// positions are the overlay's coordinate system) and stamping epoch into
+// the new superblock. The source file is untouched; the caller swaps the
+// result in with SwapFile once every reader has been moved over, then
+// drains the folded overlay from the live delta store. opt.PageSize
+// defaults to db's page size; opt.SkipReorder is forced.
+func Compact(dstPath string, db *DB, apply MergedAdjFunc, epoch uint64, opt BuildOptions) (*BuildStats, error) {
+	if opt.PageSize == 0 {
+		opt.PageSize = db.PageSize()
+	}
+	opt.SkipReorder = true
+	opt.AppendFraction = 0
+	st, err := Build(dstPath, &mutatedSource{db: db, apply: apply}, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := StampEpoch(dstPath, epoch); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// SwapFile atomically replaces the live database file at livePath with the
+// compacted file at tmpPath (rename(2); both must be on one filesystem —
+// write the compaction output next to the live file). Open handles on the
+// old file keep reading the old inode, so in-flight runs finish against
+// the graph version they started with.
+func SwapFile(tmpPath, livePath string) error {
+	if err := os.Rename(tmpPath, livePath); err != nil {
+		return fmt.Errorf("storage: swap compacted db: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dualsim/internal/delta"
+	"dualsim/internal/graph"
+)
+
+func TestEpochRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "epoch.db")
+	g := completeGraphT(t, 8)
+	if _, err := BuildFromGraph(path, g, BuildOptions{PageSize: MinPageSize}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Epoch() != 0 {
+		t.Fatalf("fresh file epoch = %d, want 0", db.Epoch())
+	}
+	db.Close()
+	if err := StampEpoch(path, 42); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Epoch() != 42 {
+		t.Fatalf("epoch = %d, want 42", db.Epoch())
+	}
+	if err := db.VerifyIntegrity(); err != nil {
+		t.Fatalf("integrity after stamp: %v", err)
+	}
+}
+
+func TestStampEpochRejectsNonDB(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "not.db")
+	if err := os.WriteFile(path, make([]byte, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := StampEpoch(path, 1); err == nil {
+		t.Fatal("expected error stamping a non-database file")
+	}
+}
+
+// TestCompactFoldsOverlay mutates a graph through a delta store, compacts,
+// and checks the new file equals a from-scratch build of the mutated graph
+// (same vertex IDs, same adjacency, epoch preserved, integrity clean).
+func TestCompactFoldsOverlay(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		dir := t.TempDir()
+		base := filepath.Join(dir, "base.db")
+		g := completeGraphT(t, 12)
+		if _, err := BuildFromGraph(base, g, BuildOptions{PageSize: MinPageSize, Compress: compress}); err != nil {
+			t.Fatal(err)
+		}
+		db, err := Open(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		st := delta.NewStore(12, 0)
+		rng := rand.New(rand.NewSource(17))
+		edges := map[[2]graph.VertexID]bool{}
+		for u := 0; u < 12; u++ {
+			for w := u + 1; w < 12; w++ {
+				edges[[2]graph.VertexID{graph.VertexID(u), graph.VertexID(w)}] = true
+			}
+		}
+		for i := 0; i < 40; i++ {
+			u := graph.VertexID(rng.Intn(12))
+			w := graph.VertexID((int(u) + 1 + rng.Intn(11)) % 12)
+			if u > w {
+				u, w = w, u
+			}
+			ins := rng.Intn(2) == 0
+			if _, err := st.Apply([]delta.Op{{Insert: ins, U: u, V: w}}); err != nil {
+				t.Fatal(err)
+			}
+			if ins {
+				edges[[2]graph.VertexID{u, w}] = true
+			} else {
+				delete(edges, [2]graph.VertexID{u, w})
+			}
+		}
+		snap := st.Snapshot()
+
+		compacted := filepath.Join(dir, "compacted.db")
+		if _, err := Compact(compacted, db, snap.Apply, snap.Epoch(), BuildOptions{Compress: compress}); err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		db.Close()
+
+		cdb, err := Open(compacted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cdb.Epoch() != snap.Epoch() {
+			t.Fatalf("compress=%v: epoch = %d, want %d", compress, cdb.Epoch(), snap.Epoch())
+		}
+		if err := cdb.VerifyIntegrity(); err != nil {
+			t.Fatalf("compress=%v: integrity: %v", compress, err)
+		}
+		got, err := cdb.LoadGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want [][2]graph.VertexID
+		for e := range edges {
+			want = append(want, e)
+		}
+		wantG, err := graph.NewGraph(12, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 12; v++ {
+			vid := graph.VertexID(v)
+			if gotAdj, wantAdj := got.Adj(vid), wantG.Adj(vid); !sameIDs(gotAdj, wantAdj) {
+				t.Fatalf("compress=%v vertex %d: got %v want %v", compress, v, gotAdj, wantAdj)
+			}
+		}
+		if cdb.NumEdges() != uint64(len(edges)) {
+			t.Fatalf("compress=%v: NumEdges = %d, want %d", compress, cdb.NumEdges(), len(edges))
+		}
+		cdb.Close()
+	}
+}
+
+// TestCompactSwapFile exercises the rename swap: the live path serves the
+// compacted content afterwards.
+func TestCompactSwapFile(t *testing.T) {
+	dir := t.TempDir()
+	live := filepath.Join(dir, "live.db")
+	g := completeGraphT(t, 6)
+	if _, err := BuildFromGraph(live, g, BuildOptions{PageSize: MinPageSize}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := delta.NewStore(6, 0)
+	if _, err := st.Apply([]delta.Op{{Insert: false, U: 0, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	tmp := filepath.Join(dir, "live.db.compact")
+	if _, err := Compact(tmp, db, snap.Apply, snap.Epoch(), BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if err := SwapFile(tmp, live); err != nil {
+		t.Fatal(err)
+	}
+	ndb, err := Open(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ndb.Close()
+	if ndb.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", ndb.Epoch())
+	}
+	adj, err := ndb.Adjacency(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range adj {
+		if w == 1 {
+			t.Fatal("deleted edge (0,1) survived the swap")
+		}
+	}
+}
+
+func completeGraphT(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	var edges [][2]graph.VertexID
+	for u := 0; u < n; u++ {
+		for w := u + 1; w < n; w++ {
+			edges = append(edges, [2]graph.VertexID{graph.VertexID(u), graph.VertexID(w)})
+		}
+	}
+	g, err := graph.NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sameIDs(a, b []graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -21,6 +21,17 @@ const (
 	minReadableVersion = 2
 )
 
+// epochOffset is the byte offset of the data-epoch field within the
+// superblock page. The field is additive: files written before it exist
+// carry zeros there (the superblock page is zero-padded to the page size),
+// which reads back as epoch 0 — exactly right for a never-mutated file.
+const epochOffset = 40
+
+// superblockSize is the number of superblock bytes actually written at
+// the head of the file; the rest of the first page frame is zero padding.
+// MinPageSize keeps every page size at least this large.
+const superblockSize = epochOffset + 8
+
 // superblock is the fixed header stored in the first page of the file.
 type superblock struct {
 	pageSize    uint32
@@ -29,10 +40,11 @@ type superblock struct {
 	numPages    uint32
 	maxDegree   uint32
 	dirOffset   uint64
+	epoch       uint64
 }
 
 func (sb *superblock) writeTo(f *os.File) error {
-	var buf [40]byte
+	var buf [48]byte
 	binary.LittleEndian.PutUint32(buf[0:], dbMagic)
 	binary.LittleEndian.PutUint32(buf[4:], dbVersion)
 	binary.LittleEndian.PutUint32(buf[8:], sb.pageSize)
@@ -41,12 +53,13 @@ func (sb *superblock) writeTo(f *os.File) error {
 	binary.LittleEndian.PutUint32(buf[24:], sb.numPages)
 	binary.LittleEndian.PutUint32(buf[28:], sb.maxDegree)
 	binary.LittleEndian.PutUint64(buf[32:], sb.dirOffset)
+	binary.LittleEndian.PutUint64(buf[epochOffset:], sb.epoch)
 	_, err := f.WriteAt(buf[:], 0)
 	return err
 }
 
 func readSuperblock(f *os.File) (*superblock, error) {
-	var buf [40]byte
+	var buf [48]byte
 	if _, err := f.ReadAt(buf[:], 0); err != nil {
 		return nil, fmt.Errorf("storage: read superblock: %w", err)
 	}
@@ -63,7 +76,32 @@ func readSuperblock(f *os.File) (*superblock, error) {
 		numPages:    binary.LittleEndian.Uint32(buf[24:]),
 		maxDegree:   binary.LittleEndian.Uint32(buf[28:]),
 		dirOffset:   binary.LittleEndian.Uint64(buf[32:]),
+		epoch:       binary.LittleEndian.Uint64(buf[epochOffset:]),
 	}, nil
+}
+
+// StampEpoch persists a data epoch into the superblock of the database at
+// path. The epoch is the live-ingest version counter: the serving layer
+// stamps it after every applied mutation batch so a restarted server
+// resumes the sequence instead of reusing old epoch numbers (which would
+// revalidate stale resume tokens and cached plans). The 8-byte in-place
+// write is crash-safe in the sense that either the old or new epoch is
+// read back; both are safe because epochs only guard staleness.
+func StampEpoch(path string, epoch uint64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("storage: stamp epoch: %w", err)
+	}
+	defer f.Close()
+	if _, err := readSuperblock(f); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], epoch)
+	if _, err := f.WriteAt(buf[:], epochOffset); err != nil {
+		return fmt.Errorf("storage: stamp epoch: %w", err)
+	}
+	return f.Sync()
 }
 
 // DB is a read-only handle to a built database. It is safe for concurrent
@@ -126,6 +164,11 @@ func (db *DB) NumPages() int { return int(db.sb.numPages) }
 
 // MaxDegree returns the largest vertex degree.
 func (db *DB) MaxDegree() int { return int(db.sb.maxDegree) }
+
+// Epoch returns the data epoch stamped into the superblock: 0 for a file
+// that has never taken a mutation, otherwise the epoch of the last batch
+// persisted via StampEpoch (or preserved by Compact).
+func (db *DB) Epoch() uint64 { return db.sb.epoch }
 
 // PageOf returns P(v): the first page holding v's adjacency list.
 func (db *DB) PageOf(v graph.VertexID) PageID { return db.dir[v].FirstPage }

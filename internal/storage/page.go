@@ -52,8 +52,10 @@ const (
 )
 
 // MinPageSize is the smallest supported page size: room for the header, one
-// record with one adjacency entry, and one slot.
-const MinPageSize = pageHeaderSize + recordHeaderSize + 4 + slotSize
+// record with one adjacency entry, and one slot — and for the superblock
+// (superblockSize bytes), which lives in the file's first page frame and
+// must not spill into data page 0.
+const MinPageSize = superblockSize
 
 // DefaultPageSize is used when BuildOptions.PageSize is zero.
 const DefaultPageSize = 4096

@@ -88,6 +88,22 @@ type ServerConfig struct {
 	// doors for more riders before sweeping (default 10ms; late arrivals
 	// still board at the next window boundary).
 	CohortFormationWait time.Duration
+	// Mutable enables live ingest: POST /edges (single JSON object or an
+	// NDJSON stream of {"op","u","v"} objects; one body = one atomic
+	// batch) applies edge inserts/deletes to an in-memory delta overlay
+	// that every subsequent query merges into its window loads. Each
+	// applied batch advances the data epoch — reported by every query as
+	// "data_epoch" — which invalidates cached plans and outstanding
+	// resume tokens (cross-epoch resumes get 409).
+	Mutable bool
+	// CompactEvery is the overlay-op threshold that triggers a background
+	// compaction: the overlay is folded into a fresh database file that
+	// atomically replaces the live one (in-flight queries finish on the
+	// old file), and the folded ops drain from the overlay. 0 disables
+	// automatic compaction; POST /admin/compact folds on demand.
+	CompactEvery int
+	// CompactCompress stores compacted files delta-varint compressed.
+	CompactCompress bool
 	// Engine is the per-engine template. Buffer sizing is reinterpreted as
 	// the global budget; Threads defaults to GOMAXPROCS divided across the
 	// pool. MetricsAddr, TraceWriter and progress options are ignored here —
@@ -102,6 +118,8 @@ type ServerConfig struct {
 //
 //	POST /query    {"query":"q1","mode":"count"}            -> JSON result
 //	POST /query    {"query":"0-1,1-2,0-2","mode":"embeddings"} -> NDJSON rows
+//	POST /edges    {"op":"insert","u":3,"v":9} ...      (ServerConfig.Mutable)
+//	POST /admin/compact  fold the overlay into a fresh file (Mutable)
 //	GET  /stats    service and database snapshot (incl. slow-log summary)
 //	GET  /metrics  Prometheus text format (plus /debug/vars, /debug/pprof)
 //	GET  /debug/slowlog  slow-query ring + heaviest queries by pages read
@@ -140,6 +158,9 @@ func (d *DB) NewServer(cfg ServerConfig) (*Server, error) {
 		ShareScan:           cfg.ShareScan,
 		CohortMaxRiders:     cfg.CohortMaxRiders,
 		CohortFormationWait: cfg.CohortFormationWait,
+		Mutable:             cfg.Mutable,
+		CompactEvery:        cfg.CompactEvery,
+		CompactCompress:     cfg.CompactCompress,
 		Engine:              cfg.Engine.coreOptions(),
 	})
 	if err != nil {
